@@ -1,0 +1,508 @@
+// Benchmarks regenerating the paper's evaluation (§6): one benchmark per
+// table and figure, plus ablation benches for the design choices DESIGN.md
+// calls out. Shape metrics (normalized slowdowns, latencies, watts) are
+// attached with b.ReportMetric so `go test -bench` output carries the same
+// series the paper plots.
+package androne
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"androne/internal/android"
+	"androne/internal/bench"
+	"androne/internal/binder"
+	"androne/internal/container"
+	"androne/internal/core"
+	"androne/internal/devcon"
+	"androne/internal/flight"
+	"androne/internal/geo"
+	"androne/internal/mavlink"
+	"androne/internal/planner"
+	"androne/internal/rtos"
+	"androne/internal/sitl"
+)
+
+var benchHome = geo.Position{LatLon: geo.LatLon{Lat: 43.6084298, Lon: -85.8110359}, Alt: 0}
+
+// --------------------------------------------------------------------------
+// Table 1: device container services
+
+// BenchmarkTable1DeviceServices measures the full shared-device-service call
+// path an app pays: virtual drone app -> Binder -> device container
+// CameraService -> cross-container permission check -> capture.
+func BenchmarkTable1DeviceServices(b *testing.B) {
+	d, err := core.NewDrone(benchHome, "table1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	def := &core.Definition{
+		Name: "vd1", Owner: "bench", MaxDuration: 600, EnergyAllotted: 45000,
+		WaypointDevices: []string{"camera", "flight-control"},
+		Waypoints: []geo.Waypoint{{
+			Position:  geo.Position{LatLon: benchHome.LatLon, Alt: 15},
+			MaxRadius: 40,
+		}},
+	}
+	vd, err := d.VDC.Create(def)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.VDC.WaypointReached("vd1", 0); err != nil {
+		b.Fatal(err)
+	}
+	vd.Instance.ActivityManager().Grant(20001, android.PermCamera)
+	app := android.NewClient(vd.Instance.Namespace(), 20001)
+	h, err := app.GetService(devcon.SvcCamera)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := app.Call(h, devcon.CmdCapture, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Figure 10: runtime overhead
+
+// BenchmarkFig10RuntimeOverhead runs the PassMark-class CPU workload with
+// 1-3 concurrent virtual drone instances on both kernel models and reports
+// the contention model's normalized slowdowns (the figure's bars) alongside
+// the measured concurrent throughput.
+func BenchmarkFig10RuntimeOverhead(b *testing.B) {
+	for _, kernel := range []rtos.Kernel{rtos.Preempt, rtos.PreemptRT} {
+		for drones := 1; drones <= 3; drones++ {
+			name := fmt.Sprintf("%dVDrone-%s", drones, kernel)
+			b.Run(name, func(b *testing.B) {
+				r := bench.RuntimeOverhead(drones, kernel)
+				b.ReportMetric(r.CPU, "cpu-x")
+				b.ReportMetric(r.Disk, "disk-x")
+				b.ReportMetric(r.Memory, "mem-x")
+				// Real concurrent CPU work: N instances sharing the cores.
+				prev := runtime.GOMAXPROCS(0)
+				defer runtime.GOMAXPROCS(prev)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for d := 0; d < drones; d++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							bench.CPUWorkload(200000)
+						}()
+					}
+					wg.Wait()
+				}
+			})
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Figure 11: cyclictest latency
+
+// BenchmarkFig11CyclictestLatency runs each scenario's latency simulation
+// and reports average and maximum wakeup latency in microseconds.
+func BenchmarkFig11CyclictestLatency(b *testing.B) {
+	for _, kernel := range []rtos.Kernel{rtos.Preempt, rtos.PreemptRT} {
+		for _, load := range []rtos.Workload{rtos.Idle, rtos.PassMark, rtos.Stress} {
+			sc := rtos.Scenario{Kernel: kernel, Load: load}
+			b.Run(sc.String(), func(b *testing.B) {
+				var h *rtos.Histogram
+				for i := 0; i < b.N; i++ {
+					h = rtos.RunCyclictest(sc, 100000, "bench")
+				}
+				b.ReportMetric(h.AvgUs(), "avg-us")
+				b.ReportMetric(h.MaxUs(), "max-us")
+				b.ReportMetric(float64(h.Exceeds(rtos.ArduPilotDeadlineUs)), "deadline-misses")
+			})
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Figure 12: memory usage
+
+// BenchmarkFig12MemoryUsage boots the full stack and reports the measured
+// memory footprint of each configuration.
+func BenchmarkFig12MemoryUsage(b *testing.B) {
+	var rows []bench.MemoryRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.UsedMB), metricName(r.Config)+"-MB")
+	}
+}
+
+// metricName makes a config label usable as a benchmark metric unit.
+func metricName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' || r == '+' {
+			r = '-'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// --------------------------------------------------------------------------
+// Figure 13: power consumption
+
+// BenchmarkFig13PowerConsumption reports the SBC power model's output for
+// each configuration, normalized to stock.
+func BenchmarkFig13PowerConsumption(b *testing.B) {
+	var rows []bench.PowerRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Figure13()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Normalized, metricName(r.Config)+"-norm")
+	}
+	b.ReportMetric(bench.StressedPowerW(), "stressed-W")
+}
+
+// --------------------------------------------------------------------------
+// §6.5: network performance
+
+// BenchmarkNetworkLatency replays the cellular MAVLink command experiment
+// and reports mean/max latency and loss.
+func BenchmarkNetworkLatency(b *testing.B) {
+	var res bench.NetworkResult
+	for i := 0; i < b.N; i++ {
+		res = bench.NetworkExperiment(150000, "bench")
+	}
+	b.ReportMetric(res.Cellular.MeanMS, "lte-mean-ms")
+	b.ReportMetric(res.Cellular.MaxMS, "lte-max-ms")
+	b.ReportMetric(float64(res.Cellular.Lost), "lte-lost")
+	b.ReportMetric(res.RF.MeanMS, "rf-mean-ms")
+}
+
+// --------------------------------------------------------------------------
+// §6.6: multi-waypoint flight (whole-system)
+
+// BenchmarkMultiWaypointFlight executes a complete single-vdrone flight —
+// takeoff, waypoint handover, app completion, RTL, offload — per iteration.
+func BenchmarkMultiWaypointFlight(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := core.NewDrone(benchHome, fmt.Sprintf("flight-%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.VDC.RegisterAppFactory("bench.app", benchAppFactory())
+		def := &core.Definition{
+			Name: "vd1", Owner: "bench", MaxDuration: 60, EnergyAllotted: 20000,
+			WaypointDevices: []string{"camera", "flight-control"},
+			Apps:            []string{"bench.app"},
+			Waypoints: []geo.Waypoint{{
+				Position:  geo.Position{LatLon: geo.OffsetNE(benchHome.LatLon, 50, 0), Alt: 15},
+				MaxRadius: 40,
+			}},
+		}
+		if _, err := d.VDC.Create(def); err != nil {
+			b.Fatal(err)
+		}
+		env := core.NewCloudEnv()
+		report, err := d.ExecuteRoute(routeForDef(b, d, def), env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !report.ReturnedHome {
+			b.Fatal("flight incomplete")
+		}
+		if i == b.N-1 {
+			b.ReportMetric(report.DurationS, "flight-s")
+			b.ReportMetric(report.FlightEnergyJ, "flight-J")
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Core mechanism micro-benchmarks
+
+// BenchmarkBinderTransaction measures one Binder round trip.
+func BenchmarkBinderTransaction(b *testing.B) {
+	d := binder.NewDriver()
+	ns, err := d.CreateNamespace("vd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := android.Boot(ns); err != nil {
+		b.Fatal(err)
+	}
+	c := android.NewClient(ns, 10001)
+	svcOwner := android.NewClient(ns, 0)
+	node := svcOwner.Proc().NewNode("echo", func(txn binder.Txn) (binder.Reply, error) {
+		return binder.Reply{Data: txn.Data}, nil
+	})
+	if err := svcOwner.AddService("echo", node); err != nil {
+		b.Fatal(err)
+	}
+	h, err := c.GetService("echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("ping")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Call(h, binder.CodeUser, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMavlinkEncodeDecode measures protocol framing round trips.
+func BenchmarkMavlinkEncodeDecode(b *testing.B) {
+	msg := &mavlink.GlobalPositionInt{LatE7: 436084298, LonE7: -858110359, AltMM: 15000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := mavlink.Encode(uint8(i), 1, 1, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mavlink.Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSitlStep measures one physics step (the 400 Hz budget is 2.5 ms).
+func BenchmarkSitlStep(b *testing.B) {
+	sim := sitl.New(benchHome, sitl.DefaultParams(), "bench")
+	f := sitl.DefaultParams().HoverThrustFrac()
+	sim.SetMotors([4]float64{f, f, f, f})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step(1.0 / 400)
+	}
+}
+
+// BenchmarkFlightFastLoop measures one full fast-loop iteration: physics
+// step plus controller step.
+func BenchmarkFlightFastLoop(b *testing.B) {
+	v := flight.NewVehicle(benchHome, "bench")
+	v.StepSeconds(0.1)
+	_ = v.Controller.SetModeNum(mavlink.ModeGuided)
+	_ = v.Controller.Arm()
+	_ = v.Controller.Takeoff(15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Sim.Step(flight.FastLoopDT)
+		v.Controller.Step(flight.FastLoopDT)
+	}
+}
+
+// --------------------------------------------------------------------------
+// Ablations (DESIGN.md)
+
+// BenchmarkAblationPublishVsPerDevice compares AnDrone's single
+// PUBLISH_TO_ALL_NS registration against Cells-style per-device namespace
+// setup cost, modeled as one registration per device per namespace.
+func BenchmarkAblationPublishVsPerDevice(b *testing.B) {
+	const namespaces = 3
+	b.Run("publish-to-all-ns", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := binder.NewDriver()
+			dns, _ := d.CreateNamespace("devcon")
+			d.SetDeviceNamespace(dns)
+			// The device container's ServiceManager hook publishes shared
+			// services with one ioctl covering all namespaces, present and
+			// future — no per-device work.
+			hook := func(sm *android.ServiceManager, name string, h binder.Handle) {
+				_ = sm.Proc().PublishToAllNS(name, h)
+			}
+			if _, err := android.Boot(dns, android.WithServiceManagerHook(hook)); err != nil {
+				b.Fatal(err)
+			}
+			for n := 0; n < namespaces; n++ {
+				ns, _ := d.CreateNamespace(fmt.Sprintf("vd%d", n))
+				if _, err := devcon.BootBridged(ns); err != nil {
+					b.Fatal(err)
+				}
+			}
+			owner := android.NewClient(dns, 0)
+			node := owner.Proc().NewNode("svc", func(binder.Txn) (binder.Reply, error) { return binder.Reply{}, nil })
+			if err := owner.AddService("svc", node); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-device-namespaces", func(b *testing.B) {
+		// Cells-style: every device needs per-namespace driver state.
+		const devicesPerDrone = 6
+		for i := 0; i < b.N; i++ {
+			d := binder.NewDriver()
+			for n := 0; n < namespaces; n++ {
+				ns, _ := d.CreateNamespace(fmt.Sprintf("vd%d", n))
+				inst, err := android.Boot(ns)
+				if err != nil {
+					b.Fatal(err)
+				}
+				owner := android.NewClient(ns, 0)
+				for dev := 0; dev < devicesPerDrone; dev++ {
+					node := owner.Proc().NewNode("dev", func(binder.Txn) (binder.Reply, error) { return binder.Reply{}, nil })
+					if err := owner.AddService(fmt.Sprintf("dev%d", dev), node); err != nil {
+						b.Fatal(err)
+					}
+				}
+				_ = inst
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRTCost quantifies the Figure 10 "-RT" throughput penalty.
+func BenchmarkAblationRTCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := bench.RuntimeOverhead(3, rtos.Preempt)
+		rt := bench.RuntimeOverhead(3, rtos.PreemptRT)
+		if i == 0 {
+			b.ReportMetric(rt.CPU/p.CPU, "cpu-rt-penalty")
+			b.ReportMetric(rt.Memory/p.Memory, "mem-rt-penalty")
+		}
+	}
+}
+
+// BenchmarkAblationGeofencePolicy compares AnDrone's recover-and-loiter
+// breach handling (flight continues) against the stock failsafe landing
+// (flight aborts): it reports how long each policy takes to return the
+// drone to a controllable state.
+func BenchmarkAblationGeofencePolicy(b *testing.B) {
+	run := func(b *testing.B, stock bool) float64 {
+		v := flight.NewVehicle(benchHome, "ablation")
+		v.StepSeconds(0.1)
+		_ = v.Controller.SetModeNum(mavlink.ModeGuided)
+		_ = v.Controller.Arm()
+		_ = v.Controller.Takeoff(15)
+		v.RunUntil(func() bool { return v.Sim.AltitudeAGL() > 14 }, 30)
+		fence := geo.Fence{Center: geo.Position{LatLon: benchHome.LatLon, Alt: 15}, Radius: 30}
+		breached := false
+		if stock {
+			v.Controller.SetFence(&fence, func(c *flight.Controller) {
+				breached = true
+				flight.FailsafeLand(c)
+			})
+		} else {
+			v.Controller.SetFence(&fence, func(c *flight.Controller) {
+				breached = true
+				rec := fence.ClosestInside(c.Estimate())
+				_ = c.SetModeNum(mavlink.ModeGuided)
+				_ = c.GotoPosition(rec, 0)
+			})
+		}
+		_ = v.Controller.GotoPosition(geo.Position{LatLon: geo.OffsetNE(benchHome.LatLon, 60, 0), Alt: 15}, 0)
+		start := v.Sim.Now()
+		if stock {
+			v.RunUntil(func() bool { return v.Sim.OnGround() }, 120)
+		} else {
+			v.RunUntil(func() bool {
+				return breached && fence.Contains(v.Sim.Position())
+			}, 120)
+		}
+		return v.Sim.Now().Sub(start).Seconds()
+	}
+	b.Run("androne-recover-loiter", func(b *testing.B) {
+		var t float64
+		for i := 0; i < b.N; i++ {
+			t = run(b, false)
+		}
+		b.ReportMetric(t, "recover-s")
+		b.ReportMetric(1, "flight-continues")
+	})
+	b.Run("stock-failsafe-land", func(b *testing.B) {
+		var t float64
+		for i := 0; i < b.N; i++ {
+			t = run(b, true)
+		}
+		b.ReportMetric(t, "recover-s")
+		b.ReportMetric(0, "flight-continues")
+	})
+}
+
+// BenchmarkAblationLayeredImages compares VDR storage cost with shared
+// layered images against full per-drone copies.
+func BenchmarkAblationLayeredImages(b *testing.B) {
+	baseFiles := map[string][]byte{}
+	for i := 0; i < 64; i++ {
+		blob := make([]byte, 4096)
+		for j := range blob {
+			blob[j] = byte(i * j)
+		}
+		baseFiles[fmt.Sprintf("/system/lib%d.so", i)] = blob
+	}
+	const drones = 8
+	var layered, copied int
+	for i := 0; i < b.N; i++ {
+		// Layered: one shared base + per-drone diffs.
+		s1 := container.NewStore()
+		s1.AddImage(&container.Image{Name: "base", Layers: []*container.Layer{container.NewLayer(baseFiles)}})
+		for d := 0; d < drones; d++ {
+			s1.AddLayer(container.NewLayer(map[string][]byte{
+				"/data/state": []byte(fmt.Sprintf("drone-%d", d)),
+			}))
+		}
+		layered = s1.StorageBytes()
+
+		// Naive: full image copy per drone (unique content per drone).
+		s2 := container.NewStore()
+		for d := 0; d < drones; d++ {
+			files := make(map[string][]byte, len(baseFiles)+1)
+			for k, v := range baseFiles {
+				files[k] = append([]byte{byte(d)}, v...) // breaks dedup, as separate pulls would
+			}
+			files["/data/state"] = []byte(fmt.Sprintf("drone-%d", d))
+			s2.AddLayer(container.NewLayer(files))
+		}
+		copied = s2.StorageBytes()
+	}
+	b.ReportMetric(float64(layered)/1024, "layered-KB")
+	b.ReportMetric(float64(copied)/1024, "copied-KB")
+	b.ReportMetric(float64(copied)/float64(layered), "savings-x")
+}
+
+// --------------------------------------------------------------------------
+// helpers
+
+func benchAppFactory() core.AppFactory {
+	return func(ctx *core.AppContext) android.Lifecycle {
+		return &benchApp{ctx: ctx}
+	}
+}
+
+type benchApp struct {
+	ctx   *core.AppContext
+	ticks int
+}
+
+func (a *benchApp) OnCreate(*android.App, []byte)           {}
+func (a *benchApp) OnSaveInstanceState(*android.App) []byte { return nil }
+func (a *benchApp) OnDestroy(*android.App)                  {}
+func (a *benchApp) Tick(dt float64) {
+	a.ticks++
+	if a.ticks == 3 {
+		a.ctx.SDK.WaypointCompleted()
+	}
+}
+
+func routeForDef(b *testing.B, d *core.Drone, def *core.Definition) planner.Route {
+	b.Helper()
+	cfg := planner.DefaultConfig(d.Home())
+	plan, err := cfg.Plan([]planner.Task{{
+		ID: def.Name, Waypoints: def.Waypoints,
+		EnergyJ: def.EnergyAllotted, DurationS: def.MaxDuration,
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan.Routes[0]
+}

@@ -1,0 +1,145 @@
+// Command androne-portal serves the complete AnDrone service: the cloud
+// portal HTTP API for ordering virtual drones, browsing the app store,
+// listing the VDR, and retrieving flight files (paper §2, Figure 1), backed
+// by a simulated drone fleet. Orders accumulate until an operator (or cron)
+// POSTs /api/admin/fly, which plans and executes the pending orders and
+// settles their bills — the Figure 4 workflow behind one server.
+//
+//	androne-portal -addr :8080 -fleet 2
+//
+// Endpoints (in addition to the portal API documented in internal/cloud):
+//
+//	POST /api/admin/fly       plan and fly all pending orders
+//	GET  /api/admin/bills     list settled bills by order id
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"androne/internal/apps"
+	"androne/internal/cloud"
+	"androne/internal/core"
+	"androne/internal/geo"
+	"androne/internal/sdk"
+	"androne/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	fleet := flag.Int("fleet", 1, "number of physical drones")
+	lat := flag.Float64("lat", 43.6084298, "base latitude")
+	lon := flag.Float64("lon", -85.8110359, "base longitude")
+	flag.Parse()
+
+	cfg := service.DefaultConfig()
+	cfg.FleetSize = *fleet
+	cfg.Base = geo.Position{LatLon: geo.LatLon{Lat: *lat, Lon: *lon}, Alt: 0}
+	svc, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "androne-portal:", err)
+		os.Exit(1)
+	}
+	seedAppStore(svc.AppStore())
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.HandleFunc("POST /api/admin/fly", func(w http.ResponseWriter, r *http.Request) {
+		reports, err := svc.Run()
+		if errors.Is(err, service.ErrNothingToFly) {
+			writeJSON(w, http.StatusOK, map[string]any{"flights": 0})
+			return
+		}
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		type flightSummary struct {
+			DurationS float64 `json:"duration-s"`
+			EnergyJ   float64 `json:"energy-j"`
+			Home      bool    `json:"returned-home"`
+			AEDPass   bool    `json:"aed-pass"`
+		}
+		out := make([]flightSummary, 0, len(reports))
+		for _, rep := range reports {
+			out = append(out, flightSummary{
+				DurationS: rep.DurationS, EnergyJ: rep.FlightEnergyJ,
+				Home: rep.ReturnedHome, AEDPass: rep.AED.Pass,
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"flights": len(out), "reports": out})
+	})
+	mux.HandleFunc("GET /api/admin/bills", func(w http.ResponseWriter, r *http.Request) {
+		bills := make(map[string]map[string]float64)
+		for _, ord := range svc.Orders().List("") {
+			if b, ok := svc.BillFor(ord.ID); ok {
+				bills[ord.ID] = map[string]float64{
+					"energy": b.EnergyCharge, "storage": b.StorageCharge,
+					"network": b.NetworkCharge, "total": b.Total(),
+				}
+			}
+		}
+		writeJSON(w, http.StatusOK, bills)
+	})
+
+	fmt.Printf("androne-portal: fleet of %d, listening on %s\n", *fleet, *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "androne-portal:", err)
+		os.Exit(1)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// seedAppStore publishes the reference apps so the store is browsable out of
+// the box.
+func seedAppStore(store *cloud.AppStore) {
+	entries := []struct {
+		pkg, desc, manifest string
+	}{
+		{apps.SurveyPackage, "autonomous aerial survey with lawnmower sweeps", `
+<androne-manifest package="com.androne.survey">
+  <uses-permission name="camera" type="waypoint"/>
+  <uses-permission name="flight-control" type="waypoint"/>
+  <argument name="survey-areas" type="polygon-list" required="true"/>
+  <argument name="spacing-m" type="number" required="false"/>
+  <argument name="use-mission" type="bool" required="false"/>
+</androne-manifest>`},
+		{apps.PhotoPackage, "aerial snapshots at a waypoint", `
+<androne-manifest package="com.androne.photo">
+  <uses-permission name="camera" type="waypoint"/>
+  <argument name="shots" type="number" required="false"/>
+</androne-manifest>`},
+		{apps.TrafficWatchPackage, "continuous traffic filming between waypoints", `
+<androne-manifest package="com.androne.trafficwatch">
+  <uses-permission name="camera" type="continuous"/>
+  <uses-permission name="gps" type="continuous"/>
+</androne-manifest>`},
+		{apps.RemoteControlPackage, "interactive drone control from a smartphone", `
+<androne-manifest package="com.androne.remotecontrol">
+  <uses-permission name="camera" type="waypoint"/>
+  <uses-permission name="flight-control" type="waypoint"/>
+</androne-manifest>`},
+	}
+	for _, e := range entries {
+		m, err := sdk.ParseManifest([]byte(e.manifest))
+		if err != nil {
+			panic(err)
+		}
+		if err := store.Publish(cloud.StoreApp{
+			Package: e.pkg, Description: e.desc, Manifest: m,
+			APK: []byte("apk:" + e.pkg),
+		}); err != nil {
+			panic(err)
+		}
+	}
+	_ = core.DeviceNames // documented device names are part of the portal UI
+}

@@ -1,0 +1,17 @@
+// Package androne is a from-scratch reproduction of "AnDrone: Virtual Drone
+// Computing in the Cloud" (Van't Hof and Nieh, EuroSys 2019): a
+// drone-as-a-service system that multiplexes multiple isolated virtual
+// drones — containerized Android Things instances — on one physical drone
+// during a single flight.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// inventory), the runnable demos under examples/, and the command-line
+// tools under cmd/. The benchmarks in bench_test.go regenerate every table
+// and figure of the paper's evaluation; run them with
+//
+//	go test -bench=. -benchmem .
+//
+// or print the tables directly with
+//
+//	go run ./cmd/androne-bench -exp all
+package androne

@@ -1,0 +1,126 @@
+// Multitenant: the paper's §6.6 experiment — three third-party virtual
+// drones consolidated on one physical flight: an autonomous survey app, an
+// interactive remote-control app driven by queued operator commands, and a
+// traffic-watch app with continuous camera access between waypoints
+// (suspended for privacy while other parties operate). Each party's files
+// land in their own cloud storage.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"androne/internal/apps"
+	"androne/internal/core"
+	"androne/internal/geo"
+	"androne/internal/planner"
+)
+
+func main() {
+	home := geo.Position{LatLon: geo.LatLon{Lat: 43.6084298, Lon: -85.8110359}, Alt: 0}
+	drone, err := core.NewDrone(home, "multitenant")
+	check(err)
+	apps.RegisterAll(drone.VDC)
+
+	// Party 1: autonomous survey for a real-estate company.
+	survey := &core.Definition{
+		Name: "survey", Owner: "realestate", MaxDuration: 240, EnergyAllotted: 30000,
+		WaypointDevices: []string{"camera", "flight-control"},
+		Apps:            []string{apps.SurveyPackage},
+		AppArgs: map[string]json.RawMessage{
+			apps.SurveyPackage: json.RawMessage(`{"spacing-m": 30}`),
+		},
+		Waypoints: []geo.Waypoint{{
+			Position:  geo.Position{LatLon: geo.OffsetNE(home.LatLon, 100, 0), Alt: 15},
+			MaxRadius: 50,
+		}},
+	}
+
+	// Party 2: interactive control for a drone hobbyist.
+	interactive := &core.Definition{
+		Name: "interactive", Owner: "hobbyist", MaxDuration: 180, EnergyAllotted: 25000,
+		WaypointDevices: []string{"camera", "flight-control"},
+		Apps:            []string{apps.RemoteControlPackage},
+		Waypoints: []geo.Waypoint{{
+			Position:  geo.Position{LatLon: geo.OffsetNE(home.LatLon, -80, 80), Alt: 15},
+			MaxRadius: 45,
+		}},
+	}
+
+	// Party 3: a news company's traffic watcher with continuous camera
+	// access between its two highway waypoints.
+	traffic := &core.Definition{
+		Name: "traffic", Owner: "newsco", MaxDuration: 200, EnergyAllotted: 25000,
+		WaypointDevices:   []string{"flight-control"},
+		ContinuousDevices: []string{"camera", "gps"},
+		Apps:              []string{apps.TrafficWatchPackage},
+		Waypoints: []geo.Waypoint{
+			{Position: geo.Position{LatLon: geo.OffsetNE(home.LatLon, 20, -120), Alt: 15}, MaxRadius: 40},
+			{Position: geo.Position{LatLon: geo.OffsetNE(home.LatLon, 140, -60), Alt: 15}, MaxRadius: 40},
+		},
+	}
+
+	var tasks []planner.Task
+	for _, def := range []*core.Definition{survey, interactive, traffic} {
+		vd, err := drone.VDC.Create(def)
+		check(err)
+		fmt.Printf("created %q for %s\n", vd.Name, def.Owner)
+		tasks = append(tasks, planner.Task{ID: def.Name, Waypoints: def.Waypoints,
+			EnergyJ: def.EnergyAllotted, DurationS: def.MaxDuration})
+	}
+
+	// Feed the interactive party's "smartphone" command queue.
+	ivd, err := drone.VDC.Get("interactive")
+	check(err)
+	rc := rcApp(ivd)
+	rc.Queue(
+		apps.Command{GotoNorth: 15, GotoEast: 0},
+		apps.Command{GotoNorth: 15, GotoEast: 15},
+		apps.Command{GotoNorth: 0, GotoEast: 0},
+		apps.Command{Finish: true},
+	)
+
+	plan, err := planner.DefaultConfig(home).Plan(tasks)
+	check(err)
+	env := core.NewCloudEnv()
+	for i, route := range plan.Routes {
+		fmt.Printf("route %d: %d stops\n", i+1, len(route.Stops))
+		report, err := drone.ExecuteRoute(route, env)
+		check(err)
+		fmt.Printf("  flight %.0f s, %.0f J, home=%v, AED pass=%v\n",
+			report.DurationS, report.FlightEnergyJ, report.ReturnedHome, report.AED.Pass)
+		for name, rep := range report.PerDrone {
+			fmt.Printf("  %-12s waypoints=%d completed=%v files=%d\n",
+				name, rep.WaypointsVisited, rep.Completed, len(rep.Files))
+		}
+	}
+
+	executed, rejected := rc.Stats()
+	fmt.Printf("interactive commands: %d executed, %d rejected\n", executed, rejected)
+
+	for _, owner := range []string{"realestate", "hobbyist", "newsco"} {
+		files := env.Storage.List(owner)
+		fmt.Printf("%s: %d file(s) in cloud storage\n", owner, len(files))
+	}
+	if len(env.Storage.List("realestate")) == 0 || len(env.Storage.List("newsco")) == 0 {
+		log.Fatal("multitenant failed: missing deliverables")
+	}
+	fmt.Println("multitenant example OK")
+}
+
+// rcApp digs the RemoteControl app instance out of the VDC for command
+// injection (the smartphone front-end's role).
+func rcApp(vd *core.VirtualDrone) *apps.RemoteControl {
+	// The factory stored the lifecycle in the VDC; reach it through the
+	// app's SDK-registered instance. Since core keeps lifecycles private,
+	// the example registers its own accessor: the traffic of queued
+	// commands goes through the package-level registry below.
+	return apps.LastRemoteControl()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Quickstart: the basic AnDrone service loop from the paper's §2 in one
+// file. A user orders a virtual drone through the portal with the photo app,
+// AnDrone creates the virtual drone on a physical drone, flies the mission,
+// and the user retrieves their photos from cloud storage afterwards.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"androne/internal/apps"
+	"androne/internal/cloud"
+	"androne/internal/core"
+	"androne/internal/energy"
+	"androne/internal/geo"
+	"androne/internal/planner"
+)
+
+func main() {
+	home := geo.Position{LatLon: geo.LatLon{Lat: 43.6084298, Lon: -85.8110359}, Alt: 0}
+
+	// --- Cloud side: the user orders a virtual drone. ---------------------
+	orders := cloud.NewOrders()
+	def := &core.Definition{
+		Name:            "photo-drone",
+		Owner:           "alice",
+		MaxDuration:     120,
+		EnergyAllotted:  20000,
+		WaypointDevices: []string{"camera", "flight-control"},
+		Apps:            []string{apps.PhotoPackage},
+		AppArgs: map[string]json.RawMessage{
+			apps.PhotoPackage: json.RawMessage(`{"shots": 3}`),
+		},
+		Waypoints: []geo.Waypoint{{
+			Position:  geo.Position{LatLon: geo.OffsetNE(home.LatLon, 80, 40), Alt: 15},
+			MaxRadius: 40,
+		}},
+	}
+	defJSON, err := def.Encode()
+	check(err)
+	order := orders.Create("alice", def.Name, defJSON)
+	bill := energy.DefaultRates().Compute(energy.Usage{EnergyJ: def.EnergyAllotted})
+	fmt.Printf("order %s placed; estimated energy charge %.3f\n", order.ID, bill.EnergyCharge)
+
+	// --- Drone side: the VDC creates the virtual drone and flies. ---------
+	drone, err := core.NewDrone(home, "quickstart")
+	check(err)
+	apps.RegisterAll(drone.VDC)
+	_, err = drone.VDC.Create(def)
+	check(err)
+
+	plan, err := planner.DefaultConfig(home).Plan([]planner.Task{{
+		ID: def.Name, Waypoints: def.Waypoints,
+		EnergyJ: def.EnergyAllotted, DurationS: def.MaxDuration,
+	}})
+	check(err)
+
+	env := core.NewCloudEnv()
+	report, err := drone.ExecuteRoute(plan.Routes[0], env)
+	check(err)
+	rep := report.PerDrone[def.Name]
+	fmt.Printf("flight complete: %.0f s, %.0f J, returned home %v\n",
+		report.DurationS, report.FlightEnergyJ, report.ReturnedHome)
+	fmt.Printf("virtual drone: completed=%v, dwell %.1f s, %d file(s)\n",
+		rep.Completed, rep.TimeUsedS, len(rep.Files))
+
+	// --- Cloud side again: the user retrieves files. ----------------------
+	files := env.Storage.List("alice")
+	fmt.Printf("alice's cloud files (%d):\n", len(files))
+	for _, f := range files {
+		data, err := env.Storage.Get("alice", f)
+		check(err)
+		fmt.Printf("  %s (%d bytes)\n", f, len(data))
+	}
+	if len(files) == 0 {
+		log.Fatal("quickstart failed: no files delivered")
+	}
+	fmt.Println("quickstart OK")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

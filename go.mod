@@ -1,0 +1,3 @@
+module androne
+
+go 1.22

@@ -1,0 +1,435 @@
+package android
+
+import (
+	"errors"
+	"testing"
+
+	"androne/internal/binder"
+)
+
+func bootVD(t *testing.T, d *binder.Driver, name string, opts ...Option) *Instance {
+	t.Helper()
+	ns, err := d.CreateNamespace(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Boot(ns, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestBootRegistersActivityManager(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	svcs := in.ServiceManager().Services()
+	if len(svcs) != 1 || svcs[0] != ActivityService {
+		t.Fatalf("services after boot = %v", svcs)
+	}
+}
+
+func TestClientServiceLookup(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	c := NewClient(in.Namespace(), 10001)
+	h, err := c.GetService(ActivityService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Call(h, binder.CodePing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetService("nope"); err == nil {
+		t.Fatal("lookup of missing service succeeded")
+	}
+}
+
+func TestPermissionModel(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	am := in.ActivityManager()
+
+	const uid = 10001
+	if am.CheckPermission(PermCamera, uid) {
+		t.Fatal("ungranted permission allowed")
+	}
+	am.Grant(uid, PermCamera)
+	if !am.CheckPermission(PermCamera, uid) {
+		t.Fatal("granted permission denied")
+	}
+	am.Revoke(uid, PermCamera)
+	if am.CheckPermission(PermCamera, uid) {
+		t.Fatal("revoked permission allowed")
+	}
+	// System uid holds everything.
+	if !am.CheckPermission(PermFlightControl, 0) {
+		t.Fatal("system uid denied")
+	}
+}
+
+func TestCheckPermissionOverBinder(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	in.ActivityManager().Grant(10001, PermLocation)
+
+	c := NewClient(in.Namespace(), 500)
+	h, err := c.GetService(ActivityService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := c.Call(h, CmdCheckPermission, CheckPermissionData(PermLocation, 10001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "granted" {
+		t.Fatalf("check = %q", out)
+	}
+	out, _, err = c.Call(h, CmdCheckPermission, CheckPermissionData(PermCamera, 10001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "denied" {
+		t.Fatalf("check = %q", out)
+	}
+	// Malformed payloads are rejected, not crash.
+	if _, _, err := c.Call(h, CmdCheckPermission, []byte("nodelimiter")); err == nil {
+		t.Fatal("malformed CheckPermission accepted")
+	}
+}
+
+type recordingApp struct {
+	created   int
+	destroyed int
+	lastSaved []byte
+	state     []byte
+}
+
+func (r *recordingApp) OnCreate(app *App, saved []byte) {
+	r.created++
+	r.lastSaved = saved
+}
+func (r *recordingApp) OnSaveInstanceState(app *App) []byte { return r.state }
+func (r *recordingApp) OnDestroy(app *App)                  { r.destroyed++ }
+
+func TestAppLifecycle(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	rec := &recordingApp{state: []byte("progress=2/5")}
+	app := in.Install("com.example.survey", 10001, rec)
+
+	if app.State() != AppStopped {
+		t.Fatalf("initial state = %v", app.State())
+	}
+	if err := in.StartApp("com.example.survey"); err != nil {
+		t.Fatal(err)
+	}
+	if app.State() != AppRunning {
+		t.Fatalf("state = %v", app.State())
+	}
+	if rec.created != 1 {
+		t.Fatalf("created = %d", rec.created)
+	}
+	if rec.lastSaved != nil {
+		t.Fatalf("first start got saved state %q", rec.lastSaved)
+	}
+	if err := in.StartApp("com.example.survey"); !errors.Is(err, ErrAppRunning) {
+		t.Fatalf("double start: %v", err)
+	}
+
+	// Graceful stop saves instance state.
+	if err := in.StopApp("com.example.survey"); err != nil {
+		t.Fatal(err)
+	}
+	if app.State() != AppStopped {
+		t.Fatalf("state = %v", app.State())
+	}
+	if rec.destroyed != 1 {
+		t.Fatalf("destroyed = %d", rec.destroyed)
+	}
+	if string(app.SavedState()) != "progress=2/5" {
+		t.Fatalf("saved = %q", app.SavedState())
+	}
+
+	// Restart delivers the saved state to onCreate: the mechanism that
+	// resumes virtual drones on a later flight.
+	if err := in.StartApp("com.example.survey"); err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.lastSaved) != "progress=2/5" {
+		t.Fatalf("restored state = %q", rec.lastSaved)
+	}
+}
+
+func TestStopAppIdempotent(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	in.Install("a", 10001, nil)
+	if err := in.StopApp("a"); err != nil {
+		t.Fatalf("stopping stopped app: %v", err)
+	}
+	if err := in.StopApp("missing"); !errors.Is(err, ErrNoApp) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKillProcess(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	rec := &recordingApp{state: []byte("should-not-save")}
+	app := in.Install("com.example.rogue", 10001, rec)
+	if err := in.StartApp("com.example.rogue"); err != nil {
+		t.Fatal(err)
+	}
+	pid := app.Client().Proc().PID()
+
+	in.ActivityManager().KillProcess(pid)
+	if app.State() != AppKilled {
+		t.Fatalf("state after kill = %v", app.State())
+	}
+	// Kill does NOT run lifecycle callbacks: no save, no destroy.
+	if rec.destroyed != 0 {
+		t.Fatal("kill ran onDestroy")
+	}
+	if app.SavedState() != nil && len(app.SavedState()) > 0 {
+		t.Fatalf("kill saved state %q", app.SavedState())
+	}
+}
+
+func TestKillProcessOverBinder(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	app := in.Install("com.example.rogue", 10001, nil)
+	if err := in.StartApp("com.example.rogue"); err != nil {
+		t.Fatal(err)
+	}
+	pid := app.Client().Proc().PID()
+
+	sys := NewClient(in.Namespace(), 0)
+	h, err := sys.GetService(ActivityService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Call(h, CmdKillProcess, []byte(itoa(pid))); err != nil {
+		t.Fatal(err)
+	}
+	if app.State() != AppKilled {
+		t.Fatalf("state = %v", app.State())
+	}
+}
+
+func TestSetSavedStateForVDRRestore(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	rec := &recordingApp{}
+	app := in.Install("com.example.survey", 10001, rec)
+	app.SetSavedState([]byte("from-vdr"))
+	if err := in.StartApp("com.example.survey"); err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.lastSaved) != "from-vdr" {
+		t.Fatalf("restored = %q", rec.lastSaved)
+	}
+}
+
+func TestShutdownStopsAllApps(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	a := in.Install("a", 10001, nil)
+	b := in.Install("b", 10002, nil)
+	if err := in.StartApp("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.StartApp("b"); err != nil {
+		t.Fatal(err)
+	}
+	in.Shutdown()
+	if a.State() != AppStopped || b.State() != AppStopped {
+		t.Fatalf("states = %v, %v", a.State(), b.State())
+	}
+}
+
+func TestTwoInstancesIsolated(t *testing.T) {
+	d := binder.NewDriver()
+	in1 := bootVD(t, d, "vd1")
+	in2 := bootVD(t, d, "vd2")
+
+	// A service registered in vd1 is invisible in vd2.
+	c1 := NewClient(in1.Namespace(), 10001)
+	node := c1.Proc().NewNode("mysvc", func(txn binder.Txn) (binder.Reply, error) {
+		return binder.Reply{Data: []byte("vd1")}, nil
+	})
+	if err := c1.AddService("mysvc", node); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewClient(in2.Namespace(), 10001)
+	if _, err := c2.GetService("mysvc"); err == nil {
+		t.Fatal("cross-container service lookup succeeded")
+	}
+
+	// Permissions are per-container.
+	in1.ActivityManager().Grant(10001, PermCamera)
+	if in2.ActivityManager().CheckPermission(PermCamera, 10001) {
+		t.Fatal("permission leaked across containers")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestServiceManagerPrunesDeadServices(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	owner := NewClient(in.Namespace(), 10001)
+	node := owner.Proc().NewNode("flaky", func(binder.Txn) (binder.Reply, error) {
+		return binder.Reply{}, nil
+	})
+	if err := owner.AddService("flaky", node); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(in.Namespace(), 10002)
+	if _, err := c.GetService("flaky"); err != nil {
+		t.Fatal(err)
+	}
+	// The service's process crashes: the registration disappears.
+	owner.Proc().Exit()
+	if _, err := c.GetService("flaky"); err == nil {
+		t.Fatal("dead service still registered")
+	}
+	for _, s := range in.ServiceManager().Services() {
+		if s == "flaky" {
+			t.Fatal("dead service listed")
+		}
+	}
+}
+
+func TestReRegisterAfterDeath(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	oldOwner := NewClient(in.Namespace(), 10001)
+	oldNode := oldOwner.Proc().NewNode("svc", func(binder.Txn) (binder.Reply, error) {
+		return binder.Reply{Data: []byte("old")}, nil
+	})
+	if err := oldOwner.AddService("svc", oldNode); err != nil {
+		t.Fatal(err)
+	}
+	// Replacement registers, then the old process dies: the death callback
+	// must not remove the new registration.
+	newOwner := NewClient(in.Namespace(), 10003)
+	newNode := newOwner.Proc().NewNode("svc", func(binder.Txn) (binder.Reply, error) {
+		return binder.Reply{Data: []byte("new")}, nil
+	})
+	if err := newOwner.AddService("svc", newNode); err != nil {
+		t.Fatal(err)
+	}
+	oldOwner.Proc().Exit()
+	c := NewClient(in.Namespace(), 10002)
+	h, err := c.GetService("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := c.Call(h, binder.CodeUser, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "new" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestServiceManagerProtocolExtras(t *testing.T) {
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	c := NewClient(in.Namespace(), 10001)
+
+	// CheckService: absent vs present (no error either way).
+	out, _, err := c.Proc().Transact(binder.ContextManagerHandle, binder.CodeCheckService, []byte("nope"), nil)
+	if err != nil || string(out) != "absent" {
+		t.Fatalf("check absent = %q, %v", out, err)
+	}
+	node := c.Proc().NewNode("svc", func(binder.Txn) (binder.Reply, error) { return binder.Reply{}, nil })
+	if err := c.AddService("svc", node); err != nil {
+		t.Fatal(err)
+	}
+	_, hs, err := c.Proc().Transact(binder.ContextManagerHandle, binder.CodeCheckService, []byte("svc"), nil)
+	if err != nil || len(hs) != 1 {
+		t.Fatalf("check present: %v handles, %v", hs, err)
+	}
+
+	// ListServices over Binder.
+	out, _, err = c.Proc().Transact(binder.ContextManagerHandle, binder.CodeListServices, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "activity,svc" {
+		t.Fatalf("list = %q", out)
+	}
+
+	// Unknown codes are errors on both managers.
+	if _, _, err := c.Proc().Transact(binder.ContextManagerHandle, 9999, nil, nil); err == nil {
+		t.Fatal("unknown SM code accepted")
+	}
+	h, _ := c.GetService(ActivityService)
+	if _, _, err := c.Call(h, 9999, nil); err == nil {
+		t.Fatal("unknown AM code accepted")
+	}
+	// Malformed AddService (no object).
+	if _, _, err := c.Proc().Transact(binder.ContextManagerHandle, binder.CodeAddService, []byte("x"), nil); err == nil {
+		t.Fatal("AddService without object accepted")
+	}
+	// Bad uid / bad pid payloads.
+	if _, _, err := c.Call(h, CmdCheckPermission, []byte("perm\x00notanumber")); err == nil {
+		t.Fatal("bad uid accepted")
+	}
+	if _, _, err := c.Call(h, CmdKillProcess, []byte("notanumber")); err == nil {
+		t.Fatal("bad pid accepted")
+	}
+}
+
+func TestAppStateStringsAndAccessors(t *testing.T) {
+	for s, want := range map[AppState]string{
+		AppStopped: "stopped", AppRunning: "running", AppKilled: "killed", AppState(9): "AppState(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("String(%d) = %q", int(s), s.String())
+		}
+	}
+	d := binder.NewDriver()
+	in := bootVD(t, d, "vd1")
+	app := in.Install("pkg", 10001, LifecycleFuncs{})
+	if app.Instance() != in {
+		t.Fatal("Instance accessor")
+	}
+	if in.ServiceManager().Proc() == nil {
+		t.Fatal("SM proc accessor")
+	}
+	// LifecycleFuncs with nil members and with set members.
+	var created, saved, destroyed bool
+	lf := LifecycleFuncs{
+		Create:  func(*App, []byte) { created = true },
+		Save:    func(*App) []byte { saved = true; return []byte("s") },
+		Destroy: func(*App) { destroyed = true },
+	}
+	lf.OnCreate(app, nil)
+	_ = lf.OnSaveInstanceState(app)
+	lf.OnDestroy(app)
+	if !created || !saved || !destroyed {
+		t.Fatal("LifecycleFuncs not invoked")
+	}
+	if got := (LifecycleFuncs{}).OnSaveInstanceState(app); got != nil {
+		t.Fatalf("nil Save returned %v", got)
+	}
+	// KillProcess on an unknown pid is a no-op.
+	in.ActivityManager().KillProcess(999999)
+}

@@ -1,0 +1,284 @@
+package apps
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"androne/internal/core"
+	"androne/internal/geo"
+	"androne/internal/planner"
+)
+
+var home = geo.Position{LatLon: geo.LatLon{Lat: 43.6084298, Lon: -85.8110359}, Alt: 0}
+
+func newDrone(t *testing.T) *core.Drone {
+	t.Helper()
+	d, err := core.NewDrone(home, t.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterAll(d.VDC)
+	return d
+}
+
+func fly(t *testing.T, d *core.Drone, defs ...*core.Definition) (*core.CloudEnv, []*core.FlightReport) {
+	t.Helper()
+	var tasks []planner.Task
+	for _, def := range defs {
+		if _, err := d.VDC.Create(def); err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, planner.Task{ID: def.Name, Waypoints: def.Waypoints,
+			EnergyJ: def.EnergyAllotted, DurationS: def.MaxDuration})
+	}
+	plan, err := planner.DefaultConfig(home).Plan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := core.NewCloudEnv()
+	reports, err := d.ExecutePlan(plan, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, reports
+}
+
+func TestPhotoAppFlight(t *testing.T) {
+	d := newDrone(t)
+	def := &core.Definition{
+		Name: "photo", Owner: "alice", MaxDuration: 120, EnergyAllotted: 20000,
+		WaypointDevices: []string{"camera", "flight-control"},
+		Apps:            []string{PhotoPackage},
+		AppArgs: map[string]json.RawMessage{
+			PhotoPackage: json.RawMessage(`{"shots": 2}`),
+		},
+		Waypoints: []geo.Waypoint{{
+			Position:  geo.Position{LatLon: geo.OffsetNE(home.LatLon, 60, 0), Alt: 15},
+			MaxRadius: 40,
+		}},
+	}
+	env, reports := fly(t, d, def)
+	if !reports[0].PerDrone["photo"].Completed {
+		t.Fatal("photo vdrone incomplete")
+	}
+	files := env.Storage.List("alice")
+	if len(files) != 2 {
+		t.Fatalf("photos delivered = %v", files)
+	}
+	for _, f := range files {
+		data, err := env.Storage.Get("alice", f)
+		if err != nil || len(data) != 64*48 {
+			t.Fatalf("photo %s: %d bytes, %v", f, len(data), err)
+		}
+	}
+}
+
+func TestSurveyAppFlight(t *testing.T) {
+	d := newDrone(t)
+	def := &core.Definition{
+		Name: "survey", Owner: "buildco", MaxDuration: 300, EnergyAllotted: 40000,
+		WaypointDevices: []string{"camera", "flight-control"},
+		Apps:            []string{SurveyPackage},
+		AppArgs: map[string]json.RawMessage{
+			SurveyPackage: json.RawMessage(`{"spacing-m": 30}`),
+		},
+		Waypoints: []geo.Waypoint{{
+			Position:  geo.Position{LatLon: geo.OffsetNE(home.LatLon, 80, 0), Alt: 15},
+			MaxRadius: 50,
+		}},
+	}
+	env, reports := fly(t, d, def)
+	rep := reports[0].PerDrone["survey"]
+	if !rep.Completed {
+		t.Fatal("survey incomplete")
+	}
+	if len(rep.Files) != 1 {
+		t.Fatalf("files = %v", rep.Files)
+	}
+	data, err := env.Storage.Get("buildco", rep.Files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frames are georeferenced records.
+	if !strings.Contains(string(data), "frame 1 seq") {
+		t.Fatalf("survey log = %q...", string(data)[:60])
+	}
+	if lines := strings.Count(string(data), "\n"); lines < 5 {
+		t.Fatalf("only %d frames recorded", lines)
+	}
+}
+
+func TestTrafficWatchContinuousAndSuspension(t *testing.T) {
+	// Traffic watcher films between its two waypoints; while another
+	// party's waypoint is visited, its access is suspended and no frames
+	// are captured.
+	d := newDrone(t)
+	traffic := &core.Definition{
+		Name: "traffic", Owner: "newsco", MaxDuration: 200, EnergyAllotted: 30000,
+		WaypointDevices:   []string{"flight-control"},
+		ContinuousDevices: []string{"camera", "gps"},
+		Apps:              []string{TrafficWatchPackage},
+		Waypoints: []geo.Waypoint{
+			{Position: geo.Position{LatLon: geo.OffsetNE(home.LatLon, 60, -60), Alt: 15}, MaxRadius: 40},
+			{Position: geo.Position{LatLon: geo.OffsetNE(home.LatLon, 120, 60), Alt: 15}, MaxRadius: 40},
+		},
+	}
+	other := &core.Definition{
+		Name: "other", Owner: "bob", MaxDuration: 60, EnergyAllotted: 15000,
+		WaypointDevices: []string{"camera", "flight-control"},
+		Apps:            []string{PhotoPackage},
+		Waypoints: []geo.Waypoint{{
+			Position:  geo.Position{LatLon: geo.OffsetNE(home.LatLon, 90, 0), Alt: 15},
+			MaxRadius: 40,
+		}},
+	}
+	env, reports := fly(t, d, traffic, other)
+	_ = reports
+	files := env.Storage.List("newsco")
+	if len(files) != 1 {
+		t.Fatalf("traffic files = %v", files)
+	}
+	data, err := env.Storage.Get("newsco", files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := strings.Count(string(data), "\n")
+	if frames < 10 {
+		t.Fatalf("traffic frames = %d, want filming en route", frames)
+	}
+	// Bob's photos also delivered: both tenants coexisted.
+	if len(env.Storage.List("bob")) == 0 {
+		t.Fatal("other tenant starved")
+	}
+}
+
+func TestRemoteControlAppFlight(t *testing.T) {
+	d := newDrone(t)
+	def := &core.Definition{
+		Name: "rc", Owner: "pilot", MaxDuration: 120, EnergyAllotted: 25000,
+		WaypointDevices: []string{"camera", "flight-control"},
+		Apps:            []string{RemoteControlPackage},
+		Waypoints: []geo.Waypoint{{
+			Position:  geo.Position{LatLon: geo.OffsetNE(home.LatLon, 70, 0), Alt: 15},
+			MaxRadius: 40,
+		}},
+	}
+	if _, err := d.VDC.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	rc := RemoteControlFor("rc")
+	if rc == nil {
+		t.Fatal("remote control app not registered")
+	}
+	rc.Queue(
+		Command{GotoNorth: 10, GotoEast: 0},
+		Command{GotoNorth: 300, GotoEast: 0}, // outside the 40 m fence
+		Command{Finish: true},
+	)
+
+	plan, err := planner.DefaultConfig(home).Plan([]planner.Task{{
+		ID: "rc", Waypoints: def.Waypoints, EnergyJ: def.EnergyAllotted, DurationS: def.MaxDuration,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := core.NewCloudEnv()
+	reports, err := d.ExecutePlan(plan, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].PerDrone["rc"].Completed {
+		t.Fatal("rc vdrone incomplete")
+	}
+	executed, rejected := rc.Stats()
+	if executed != 1 {
+		t.Fatalf("executed = %d, want 1", executed)
+	}
+	if rejected != 1 {
+		t.Fatalf("rejected = %d, want the out-of-fence command denied", rejected)
+	}
+}
+
+func TestSurveyResumeAcrossFlights(t *testing.T) {
+	// The survey app's saved instance state carries completed-waypoint
+	// progress across a VDR round trip.
+	d := newDrone(t)
+	def := &core.Definition{
+		Name: "s2", Owner: "o", MaxDuration: 400, EnergyAllotted: 170000,
+		WaypointDevices: []string{"camera", "flight-control"},
+		Apps:            []string{SurveyPackage},
+		Waypoints: []geo.Waypoint{
+			{Position: geo.Position{LatLon: geo.OffsetNE(home.LatLon, 60, 0), Alt: 15}, MaxRadius: 40},
+			{Position: geo.Position{LatLon: geo.OffsetNE(home.LatLon, -60, 40), Alt: 15}, MaxRadius: 40},
+		},
+	}
+	if _, err := d.VDC.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := planner.DefaultConfig(home).Plan([]planner.Task{{
+		ID: "s2", Waypoints: def.Waypoints, EnergyJ: def.EnergyAllotted,
+		DurationS: def.MaxDuration, Ordered: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Routes) < 2 {
+		t.Skipf("planner packed both waypoints into one flight (%d routes)", len(plan.Routes))
+	}
+	env := core.NewCloudEnv()
+	if _, err := d.ExecutePlan(plan, env); err != nil {
+		t.Fatal(err)
+	}
+	entry, err := env.VDR.Load("s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !entry.Completed {
+		t.Fatal("survey not completed across flights")
+	}
+	// Two logs: one per waypoint, named by progress counter.
+	files := env.Storage.List("o")
+	if len(files) != 2 {
+		t.Fatalf("files = %v", files)
+	}
+	if !strings.Contains(files[0], "survey-0.log") || !strings.Contains(files[1], "survey-1.log") {
+		t.Fatalf("files = %v", files)
+	}
+}
+
+func TestSurveyAppMissionMode(t *testing.T) {
+	// The survey app uploads its sweep as a MAVLink mission through the VFC
+	// and flies it in AUTO mode.
+	d := newDrone(t)
+	def := &core.Definition{
+		Name: "msurvey", Owner: "buildco", MaxDuration: 300, EnergyAllotted: 40000,
+		WaypointDevices: []string{"camera", "flight-control"},
+		Apps:            []string{SurveyPackage},
+		AppArgs: map[string]json.RawMessage{
+			SurveyPackage: json.RawMessage(`{"spacing-m": 30, "use-mission": true}`),
+		},
+		Waypoints: []geo.Waypoint{{
+			Position:  geo.Position{LatLon: geo.OffsetNE(home.LatLon, 80, 0), Alt: 15},
+			MaxRadius: 50,
+		}},
+	}
+	env, reports := fly(t, d, def)
+	rep := reports[0].PerDrone["msurvey"]
+	if !rep.Completed {
+		t.Fatal("mission-mode survey incomplete")
+	}
+	if len(rep.Files) != 1 {
+		t.Fatalf("files = %v", rep.Files)
+	}
+	data, err := env.Storage.Get("buildco", rep.Files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames := strings.Count(string(data), "\n"); frames < 3 {
+		t.Fatalf("frames = %d", frames)
+	}
+	if !reports[0].AED.Pass {
+		t.Fatalf("AED: %+v", reports[0].AED)
+	}
+}

@@ -1,0 +1,289 @@
+// Package bench implements the workloads and experiment harnesses behind
+// the paper's evaluation (§6): PassMark-class CPU/disk/memory micro
+// workloads, the contention model that regenerates Figure 10 (runtime
+// overhead vs number of virtual drones and kernel configuration), the
+// memory usage sweep of Figure 12 (measured against the real container
+// runtime), the power sweep of Figure 13, the cyclictest scenarios of
+// Figure 11, the §6.5 network latency experiment, and the §6.6
+// multi-waypoint flight.
+package bench
+
+import (
+	"fmt"
+
+	"androne/internal/container"
+	"androne/internal/core"
+	"androne/internal/devcon"
+	"androne/internal/energy"
+	"androne/internal/netem"
+	"androne/internal/rtos"
+)
+
+// --------------------------------------------------------------------------
+// PassMark-class workloads (real code, used by the testing.B benches)
+
+// CPUWorkload performs integer and floating point work akin to PassMark's
+// CPU test, returning a checksum so the compiler cannot elide it.
+func CPUWorkload(iterations int) uint64 {
+	var sum uint64
+	f := 1.0001
+	for i := 0; i < iterations; i++ {
+		// Integer mix.
+		x := uint64(i)*2654435761 + 0x9E3779B9
+		x ^= x >> 16
+		sum += x
+		// Floating point mix.
+		f = f*1.0000001 + float64(i%7)*1e-9
+	}
+	return sum + uint64(f)
+}
+
+// DiskWorkload exercises the container filesystem: it writes, reads back,
+// and deletes files through a container's copy-on-write layer, the way the
+// PassMark disk test hits the SD card through Docker's storage driver.
+// Returns total bytes moved.
+func DiskWorkload(c *container.Container, files, sizeBytes int) (int, error) {
+	buf := make([]byte, sizeBytes)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	var moved int
+	for i := 0; i < files; i++ {
+		path := fmt.Sprintf("/data/bench/file-%d", i)
+		c.WriteFile(path, buf)
+		moved += sizeBytes
+		got, err := c.ReadFile(path)
+		if err != nil {
+			return moved, err
+		}
+		moved += len(got)
+		if err := c.RemoveFile(path); err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}
+
+// MemoryWorkload performs large sequential copies akin to PassMark's memory
+// test, returning a checksum.
+func MemoryWorkload(bytes int) byte {
+	src := make([]byte, bytes)
+	dst := make([]byte, bytes)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	copy(dst, src)
+	var sum byte
+	for _, b := range dst {
+		sum ^= b
+	}
+	return sum
+}
+
+// --------------------------------------------------------------------------
+// Figure 10: runtime overhead
+
+// OverheadResult is one Figure 10 group: normalized slowdown vs stock
+// Android Things running a single PassMark instance (1.0 = stock; higher is
+// slower).
+type OverheadResult struct {
+	Drones int
+	Kernel rtos.Kernel
+	CPU    float64
+	Disk   float64
+	Memory float64
+}
+
+// Contention model constants, calibrated to the prototype: <=1.5% single
+// virtual drone overhead; roughly linear CPU scaling; disk 2x / 2.2x and
+// memory 1.8x / 2.3x at three drones for PREEMPT / PREEMPT_RT.
+const (
+	containerOverhead  = 0.013 // virtualization cost for a single instance
+	diskInterference   = 0.50  // added slowdown per extra drone (PREEMPT)
+	diskInterferenceRT = 0.60
+	memInterference    = 0.40
+	memInterferenceRT  = 0.65
+	rtSchedTax         = 0.030 // PREEMPT_RT per-extra-drone CPU cost
+)
+
+// RuntimeOverhead evaluates the contention model for a configuration. The
+// mechanism: N simultaneous PassMark instances share the four cores
+// (CPU-bound work divides evenly, so slowdown is linear in N, plus the
+// container virtualization overhead); disk and memory are bandwidth-bound
+// rather than core-bound, so their interference grows more slowly; the
+// fully preemptible kernel pays extra scheduling cost as the task count
+// grows.
+func RuntimeOverhead(drones int, kernel rtos.Kernel) OverheadResult {
+	if drones < 1 {
+		drones = 1
+	}
+	n := float64(drones)
+	cpu := n * (1 + containerOverhead)
+	disk := 1 + diskInterference*(n-1) + containerOverhead
+	mem := 1 + memInterference*(n-1) + containerOverhead
+	if kernel == rtos.PreemptRT {
+		cpu *= 1 + rtSchedTax*(n-1)
+		disk = 1 + diskInterferenceRT*(n-1) + containerOverhead
+		mem = 1 + memInterferenceRT*(n-1) + containerOverhead
+	}
+	return OverheadResult{Drones: drones, Kernel: kernel, CPU: cpu, Disk: disk, Memory: mem}
+}
+
+// Figure10 returns all six Figure 10 groups (1-3 drones x 2 kernels).
+func Figure10() []OverheadResult {
+	var out []OverheadResult
+	for _, k := range []rtos.Kernel{rtos.Preempt, rtos.PreemptRT} {
+		for n := 1; n <= 3; n++ {
+			out = append(out, RuntimeOverhead(n, k))
+		}
+	}
+	return out
+}
+
+// --------------------------------------------------------------------------
+// Figure 11: cyclictest
+
+// Figure11 runs cyclictest for all six scenarios.
+func Figure11(loops int, seed string) map[rtos.Scenario]*rtos.Histogram {
+	out := make(map[rtos.Scenario]*rtos.Histogram)
+	for _, k := range []rtos.Kernel{rtos.Preempt, rtos.PreemptRT} {
+		for _, w := range []rtos.Workload{rtos.Idle, rtos.PassMark, rtos.Stress} {
+			sc := rtos.Scenario{Kernel: k, Load: w}
+			out[sc] = rtos.RunCyclictest(sc, loops, seed)
+		}
+	}
+	return out
+}
+
+// --------------------------------------------------------------------------
+// Figure 12: memory usage
+
+// MemoryRow is one Figure 12 bar.
+type MemoryRow struct {
+	Config string
+	UsedMB int
+}
+
+// Figure12 measures memory usage against the real container runtime: base
+// system, device+flight containers, then one to three virtual drones. A
+// fourth virtual drone fails to start.
+func Figure12() ([]MemoryRow, error) {
+	rows := []MemoryRow{{Config: "Base", UsedMB: core.MemHostVDCMB}}
+
+	d, err := core.NewDrone(benchHome, "fig12")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, MemoryRow{Config: "Dev+Flight Con", UsedMB: core.MemHostVDCMB + d.Runtime.MemoryUsedMB()})
+
+	for i := 1; i <= 3; i++ {
+		def := benchDefinition(fmt.Sprintf("vd%d", i))
+		if _, err := d.VDC.Create(def); err != nil {
+			return nil, fmt.Errorf("bench: vdrone %d: %w", i, err)
+		}
+		rows = append(rows, MemoryRow{
+			Config: fmt.Sprintf("%d VDrone", i),
+			UsedMB: core.MemHostVDCMB + d.Runtime.MemoryUsedMB(),
+		})
+	}
+	return rows, nil
+}
+
+// FourthDroneFails verifies the §6.3 boundary: with three virtual drones
+// running, a fourth cannot start but does not interfere.
+func FourthDroneFails() (bool, error) {
+	d, err := core.NewDrone(benchHome, "fig12-4th")
+	if err != nil {
+		return false, err
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := d.VDC.Create(benchDefinition(fmt.Sprintf("vd%d", i))); err != nil {
+			return false, err
+		}
+	}
+	_, err = d.VDC.Create(benchDefinition("vd4"))
+	stillRunning := len(d.Runtime.Running()) == 5 // devcon, flightcon, 3 drones
+	return err != nil && stillRunning, nil
+}
+
+// --------------------------------------------------------------------------
+// Figure 13: power consumption
+
+// PowerRow is one Figure 13 bar.
+type PowerRow struct {
+	Config     string
+	PowerW     float64
+	Normalized float64 // vs stock Android Things idle
+}
+
+// Figure13 evaluates the SBC power model for the §6.4 configurations.
+func Figure13() []PowerRow {
+	stock := energy.StockIdleW()
+	configs := []struct {
+		name string
+		cfg  energy.SBCConfig
+	}{
+		{"Base", energy.SBCConfig{}},
+		{"Dev+Flight Con", energy.SBCConfig{DevFlightContainers: true}},
+		{"1 VDrone", energy.SBCConfig{DevFlightContainers: true, VirtualDrones: 1}},
+		{"2 VDrone", energy.SBCConfig{DevFlightContainers: true, VirtualDrones: 2}},
+		{"3 VDrone", energy.SBCConfig{DevFlightContainers: true, VirtualDrones: 3}},
+	}
+	var out []PowerRow
+	for _, c := range configs {
+		w := energy.SBCPowerW(c.cfg)
+		out = append(out, PowerRow{Config: c.name, PowerW: w, Normalized: w / stock})
+	}
+	return out
+}
+
+// StressedPowerW returns the fully stressed draw, identical across
+// configurations (§6.4).
+func StressedPowerW() float64 {
+	return energy.SBCPowerW(energy.SBCConfig{Stressed: true})
+}
+
+// --------------------------------------------------------------------------
+// Table 1
+
+// Table1 re-exports the device container's service-device mapping.
+func Table1() []struct {
+	Service string
+	Devices []string
+} {
+	var out []struct {
+		Service string
+		Devices []string
+	}
+	for _, row := range devcon.Table1() {
+		var devs []string
+		for _, k := range row.Devices {
+			devs = append(devs, string(k))
+		}
+		out = append(out, struct {
+			Service string
+			Devices []string
+		}{row.Service, devs})
+	}
+	return out
+}
+
+// --------------------------------------------------------------------------
+// §6.5: network latency
+
+// NetworkResult pairs the cellular measurement with the RF baseline.
+type NetworkResult struct {
+	Cellular netem.Stats
+	RF       netem.Stats
+	Wired    netem.Stats
+}
+
+// NetworkExperiment replays the §6.5 measurement: n MAVLink commands over
+// the cellular link, with RF and wired baselines.
+func NetworkExperiment(n int, seed string) NetworkResult {
+	return NetworkResult{
+		Cellular: netem.NewLink(netem.CellularLTE(), seed).Measure(n),
+		RF:       netem.NewLink(netem.RFHobby(), seed).Measure(n),
+		Wired:    netem.NewLink(netem.WiredFios(), seed).Measure(n),
+	}
+}

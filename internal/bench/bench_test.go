@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"androne/internal/container"
+	"androne/internal/rtos"
+)
+
+func TestCPUWorkloadDeterministic(t *testing.T) {
+	a := CPUWorkload(10000)
+	b := CPUWorkload(10000)
+	if a != b {
+		t.Fatal("CPU workload nondeterministic")
+	}
+	if CPUWorkload(100) == CPUWorkload(200) {
+		t.Fatal("workload insensitive to iterations")
+	}
+}
+
+func TestDiskWorkload(t *testing.T) {
+	store := container.NewStore()
+	store.AddImage(&container.Image{Name: "img", Layers: []*container.Layer{
+		container.NewLayer(map[string][]byte{"/base": []byte("x")}),
+	}})
+	rt := container.NewRuntime(store, 100)
+	c, err := rt.Create("bench", "img", container.Limits{MemoryMB: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := DiskWorkload(c, 8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 8*1024*2 {
+		t.Fatalf("moved = %d", moved)
+	}
+	// Files were cleaned up.
+	if files := c.ListFiles(); len(files) != 1 {
+		t.Fatalf("leftover files: %v", files)
+	}
+}
+
+func TestMemoryWorkload(t *testing.T) {
+	if MemoryWorkload(1<<16) != MemoryWorkload(1<<16) {
+		t.Fatal("memory workload nondeterministic")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	rows := Figure10()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(drones int, k rtos.Kernel) OverheadResult {
+		for _, r := range rows {
+			if r.Drones == drones && r.Kernel == k {
+				return r
+			}
+		}
+		t.Fatalf("missing row %d/%v", drones, k)
+		return OverheadResult{}
+	}
+
+	// Single virtual drone: at most 1.5% overhead on all metrics.
+	for _, k := range []rtos.Kernel{rtos.Preempt, rtos.PreemptRT} {
+		r := get(1, k)
+		for name, v := range map[string]float64{"cpu": r.CPU, "disk": r.Disk, "mem": r.Memory} {
+			if v > 1.015*1.035 { // RT single instance allows the sched tax=0 anyway
+				t.Errorf("1 drone %v %s overhead = %.3f, want <= ~1.5%%", k, name, v)
+			}
+			if v < 1 {
+				t.Errorf("%s faster than stock: %.3f", name, v)
+			}
+		}
+	}
+
+	// CPU scales roughly linearly with drones.
+	for _, k := range []rtos.Kernel{rtos.Preempt, rtos.PreemptRT} {
+		for n := 1; n <= 3; n++ {
+			r := get(n, k)
+			if math.Abs(r.CPU-float64(n)) > 0.25*float64(n) {
+				t.Errorf("%v %d drones CPU = %.2f, want ~%d (linear)", k, n, r.CPU, n)
+			}
+		}
+	}
+
+	// Three drones: disk ~2x / 2.2x, memory ~1.8x / 2.3x.
+	p3, rt3 := get(3, rtos.Preempt), get(3, rtos.PreemptRT)
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"PREEMPT disk", p3.Disk, 2.0},
+		{"RT disk", rt3.Disk, 2.2},
+		{"PREEMPT memory", p3.Memory, 1.8},
+		{"RT memory", rt3.Memory, 2.3},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 0.15 {
+			t.Errorf("%s = %.2f, want ~%.1f", c.name, c.got, c.want)
+		}
+	}
+	// The RT kernel performs somewhat worse than PREEMPT with three drones.
+	if rt3.CPU <= p3.CPU {
+		t.Error("RT CPU not worse than PREEMPT at 3 drones")
+	}
+	if rt3.Disk <= p3.Disk || rt3.Memory <= p3.Memory {
+		t.Error("RT disk/memory not worse than PREEMPT at 3 drones")
+	}
+	// Degenerate input clamps.
+	if r := RuntimeOverhead(0, rtos.Preempt); r.Drones != 1 {
+		t.Errorf("clamp failed: %+v", r)
+	}
+}
+
+func TestFigure11AllScenarios(t *testing.T) {
+	hists := Figure11(50000, "t")
+	if len(hists) != 6 {
+		t.Fatalf("scenarios = %d", len(hists))
+	}
+	for sc, h := range hists {
+		if h.Count() != 50000 {
+			t.Fatalf("%v count = %d", sc, h.Count())
+		}
+		if sc.Kernel == rtos.PreemptRT && h.Exceeds(rtos.ArduPilotDeadlineUs) != 0 {
+			t.Errorf("%v exceeded deadline", sc)
+		}
+	}
+}
+
+func TestFigure12Memory(t *testing.T) {
+	rows, err := Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Paper values: <100, ~250, ~435, ~620, ~805 MB.
+	want := []int{100, 250, 435, 620, 805}
+	for i, r := range rows {
+		if r.UsedMB != want[i] {
+			t.Errorf("%s = %d MB, want %d", r.Config, r.UsedMB, want[i])
+		}
+	}
+	// All configurations fit within the 880 MB envelope.
+	for _, r := range rows {
+		if r.UsedMB > 880 {
+			t.Errorf("%s exceeds available memory: %d", r.Config, r.UsedMB)
+		}
+	}
+	ok, err := FourthDroneFails()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("fourth drone did not fail cleanly")
+	}
+}
+
+func TestFigure13Power(t *testing.T) {
+	rows := Figure13()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, r := range rows {
+		if math.Abs(r.Normalized-1) > 0.03 {
+			t.Errorf("%s normalized = %.3f, want within 3%% of stock", r.Config, r.Normalized)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.PowerW < 1.65 || last.PowerW > 1.75 {
+		t.Errorf("3 drones idle = %.2f W, want ~1.7", last.PowerW)
+	}
+	if got := StressedPowerW(); got != 3.4 {
+		t.Errorf("stressed power = %g W, want 3.4", got)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	found := map[string]bool{}
+	for _, r := range rows {
+		found[r.Service] = true
+		if len(r.Devices) == 0 {
+			t.Errorf("%s has no devices", r.Service)
+		}
+	}
+	for _, svc := range []string{"media.audio_flinger", "media.camera", "location", "sensorservice"} {
+		if !found[svc] {
+			t.Errorf("missing service %s", svc)
+		}
+	}
+}
+
+func TestNetworkExperiment(t *testing.T) {
+	res := NetworkExperiment(150000, "paper")
+	if res.Cellular.MeanMS < 65 || res.Cellular.MeanMS > 75 {
+		t.Errorf("cellular mean = %.1f", res.Cellular.MeanMS)
+	}
+	if res.Cellular.MaxMS > 356 {
+		t.Errorf("cellular max = %.1f", res.Cellular.MaxMS)
+	}
+	if res.RF.MeanMS < 8 || res.RF.MeanMS > 85 {
+		t.Errorf("RF mean = %.1f", res.RF.MeanMS)
+	}
+	if res.Wired.MeanMS >= res.Cellular.MeanMS {
+		t.Error("wired not faster than cellular")
+	}
+}
+
+func TestHoverUnderSchedulingLatency(t *testing.T) {
+	// PREEMPT under stress misses some loops but the hover stays stable
+	// (the paper's §6.2 claim); PREEMPT_RT misses none.
+	pre, err := HoverUnderSchedulingLatency(rtos.Scenario{Kernel: rtos.Preempt, Load: rtos.Stress}, 20, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.MissedLoops == 0 {
+		t.Error("PREEMPT/stress missed no loops; contrast lost")
+	}
+	if frac := float64(pre.MissedLoops) / float64(pre.Cycles); frac > 0.05 {
+		t.Errorf("missed %.1f%% of loops; model too pessimistic", frac*100)
+	}
+	if !pre.AED.Pass {
+		t.Errorf("occasional misses destabilized the hover: %+v", pre.AED)
+	}
+
+	rt, err := HoverUnderSchedulingLatency(rtos.Scenario{Kernel: rtos.PreemptRT, Load: rtos.Stress}, 20, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.MissedLoops != 0 {
+		t.Errorf("RT missed %d loops", rt.MissedLoops)
+	}
+	if !rt.AED.Pass {
+		t.Errorf("RT hover unstable: %+v", rt.AED)
+	}
+}
+
+func TestHoverMissProbBoundary(t *testing.T) {
+	// Rare misses are harmless; losing most cycles is not — the mechanism
+	// matters, the simulation is not insensitive to it.
+	mild, err := HoverWithLoopMissProb(0.01, 20, "mild")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mild.AED.Pass {
+		t.Errorf("1%% misses destabilized: %+v", mild.AED)
+	}
+	severe, err := HoverWithLoopMissProb(0.97, 20, "severe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if severe.AED.Pass && severe.AED.MaxDivergenceDeg < 1 {
+		t.Errorf("97%% loop loss had no effect: %+v (model insensitive)", severe.AED)
+	}
+}

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"androne/internal/core"
+	"androne/internal/geo"
+)
+
+// benchHome is the standard experiment site (the paper's Figure 2 area).
+var benchHome = geo.Position{LatLon: geo.LatLon{Lat: 43.6084298, Lon: -85.8110359}, Alt: 0}
+
+// benchDefinition builds a minimal valid virtual drone definition for
+// capacity and flight experiments.
+func benchDefinition(name string) *core.Definition {
+	return &core.Definition{
+		Name:           name,
+		Owner:          "bench",
+		MaxDuration:    120,
+		EnergyAllotted: 20000,
+		WaypointDevices: []string{
+			"camera", "flight-control",
+		},
+		Waypoints: []geo.Waypoint{{
+			Position:  geo.Position{LatLon: geo.OffsetNE(benchHome.LatLon, 60, 0), Alt: 15},
+			MaxRadius: 40,
+		}},
+	}
+}

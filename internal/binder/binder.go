@@ -1,0 +1,493 @@
+// Package binder models Android's Binder inter-process communication
+// mechanism at the level AnDrone modifies it: nodes referenced by
+// per-process integer handles, one Context Manager per device namespace
+// (reachable as handle 0), synchronous transactions that carry the calling
+// process' PID, EUID, and — AnDrone's addition — container identifier, and
+// the two new ioctls the paper introduces:
+//
+//   - PUBLISH_TO_ALL_NS: callable only by the device container, registers a
+//     device-container service with the Context Manager of every other
+//     namespace (present and future);
+//   - PUBLISH_TO_DEV_CON: registers a container's ActivityManager with the
+//     device container's Context Manager under a name suffixed with the
+//     container identifier, so device services can route permission checks
+//     back to the calling container.
+//
+// Binder inherently provides isolation: no communication can occur without
+// first obtaining a handle, and handles can only be obtained from the
+// Context Manager (handle 0) or passed in a transaction by someone who
+// already holds one. The device-namespace extension scopes handle 0 per
+// container, so each virtual drone sees only its own ServiceManager.
+package binder
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Handle is a per-process reference to a node. Handle 0 always refers to the
+// Context Manager of the process' namespace.
+type Handle uint32
+
+// ContextManagerHandle is the well-known handle of the namespace's Context
+// Manager.
+const ContextManagerHandle Handle = 0
+
+// MaxTransactionBytes is the Binder transaction buffer limit (1 MB per
+// process in Android, minus bookkeeping). Oversized payloads fail with
+// ErrTooLarge, as TransactionTooLargeException does.
+const MaxTransactionBytes = 1 << 20
+
+// Context Manager protocol transaction codes. These mirror Android's
+// servicemanager protocol; the driver itself speaks AddService when
+// executing PUBLISH_TO_ALL_NS, so the codes are defined here rather than in
+// the userspace layer.
+const (
+	CodeAddService uint32 = iota + 1
+	CodeGetService
+	CodeCheckService
+	CodeListServices
+	// CodePing is a liveness probe any node should answer.
+	CodePing
+	// CodeUser is the first code available to user-defined services.
+	CodeUser uint32 = 64
+)
+
+// Errors returned by driver operations.
+var (
+	ErrDeadNode         = errors.New("binder: node owner has exited")
+	ErrBadHandle        = errors.New("binder: bad handle")
+	ErrNoContextManager = errors.New("binder: namespace has no context manager")
+	ErrAlreadyManager   = errors.New("binder: namespace already has a context manager")
+	ErrPermission       = errors.New("binder: permission denied")
+	ErrDeadProc         = errors.New("binder: process has exited")
+	ErrTooLarge         = errors.New("binder: transaction exceeds buffer size")
+)
+
+// Sender identifies the originator of a transaction. Container is AnDrone's
+// addition to the transaction data structure.
+type Sender struct {
+	PID       int
+	EUID      int
+	Container string
+}
+
+// Txn is a transaction delivered to a node's handler. Objects passed by the
+// sender appear as handles valid in the receiving process.
+type Txn struct {
+	Code    uint32
+	Data    []byte
+	Objects []Handle
+	Sender  Sender
+}
+
+// Reply is the synchronous result of a transaction. Objects are node
+// references that the driver translates into handles in the caller's
+// process.
+type Reply struct {
+	Data    []byte
+	Objects []*Node
+}
+
+// Handler services transactions sent to a node. It runs in the context of
+// the node's owning process: object handles in the Txn are valid there.
+type Handler func(txn Txn) (Reply, error)
+
+// Node is a Binder object: a service endpoint owned by a process.
+type Node struct {
+	id    uint64
+	name  string // debug label
+	owner *Proc
+	h     Handler
+}
+
+// Name returns the node's debug label.
+func (n *Node) Name() string { return n.name }
+
+// Namespace is a Binder device namespace. Each container gets one, so each
+// container has its own Context Manager and service registry.
+type Namespace struct {
+	driver *Driver
+	name   string
+	mgr    *Node // context manager node, nil until registered
+}
+
+// Name returns the namespace (container) identifier.
+func (ns *Namespace) Name() string { return ns.name }
+
+// Proc is a process attached to the Binder driver within a namespace.
+type Proc struct {
+	driver  *Driver
+	ns      *Namespace
+	pid     int
+	euid    int
+	dead    bool
+	next    Handle
+	handles map[Handle]*Node
+}
+
+// PID returns the process id.
+func (p *Proc) PID() int { return p.pid }
+
+// EUID returns the effective uid.
+func (p *Proc) EUID() int { return p.euid }
+
+// Namespace returns the namespace the process is attached in.
+func (p *Proc) Namespace() *Namespace { return p.ns }
+
+// Driver is the Binder "kernel driver": the authority on namespaces, nodes,
+// handle tables, and the AnDrone publish ioctls.
+type Driver struct {
+	mu         sync.Mutex
+	nextNode   uint64
+	nextPID    int
+	namespaces map[string]*Namespace
+	devcon     *Namespace // the device container's namespace, if designated
+	// published records PUBLISH_TO_ALL_NS registrations so they can be
+	// replayed into namespaces created later ("the same process will be
+	// performed in the future for any newly created virtual drone
+	// containers").
+	published []publishedService
+	// deathLinks maps a node's owner to the death-notification callbacks
+	// registered against that node (Binder's link-to-death).
+	deathLinks map[*Proc][]deathLink
+}
+
+type deathLink struct {
+	node *Node
+	fn   func()
+}
+
+type publishedService struct {
+	name string
+	node *Node
+}
+
+// NewDriver creates an empty Binder driver.
+func NewDriver() *Driver {
+	return &Driver{
+		namespaces: make(map[string]*Namespace),
+		nextPID:    100,
+		deathLinks: make(map[*Proc][]deathLink),
+	}
+}
+
+// CreateNamespace creates a device namespace for a container. Services
+// previously published with PUBLISH_TO_ALL_NS are delivered to the new
+// namespace's context manager as soon as one registers.
+func (d *Driver) CreateNamespace(name string) (*Namespace, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.namespaces[name]; ok {
+		return nil, fmt.Errorf("binder: namespace %q already exists", name)
+	}
+	ns := &Namespace{driver: d, name: name}
+	d.namespaces[name] = ns
+	return ns, nil
+}
+
+// RemoveNamespace tears down a container's namespace. All nodes owned by
+// processes in it become dead.
+func (d *Driver) RemoveNamespace(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.namespaces, name)
+}
+
+// SetDeviceNamespace designates ns as the device container's namespace,
+// granting it the right to call PUBLISH_TO_ALL_NS.
+func (d *Driver) SetDeviceNamespace(ns *Namespace) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.devcon = ns
+}
+
+// Namespaces returns the names of all current namespaces.
+func (d *Driver) Namespaces() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.namespaces))
+	for name := range d.namespaces {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Attach creates a process in the namespace with the given effective uid,
+// assigning it a fresh PID.
+func (ns *Namespace) Attach(euid int) *Proc {
+	d := ns.driver
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextPID++
+	return &Proc{
+		driver:  d,
+		ns:      ns,
+		pid:     d.nextPID,
+		euid:    euid,
+		handles: make(map[Handle]*Node),
+		next:    1, // handle 0 is reserved for the context manager
+	}
+}
+
+// NewNode creates a Binder node owned by p with the given handler. The node
+// is not reachable by anyone until a handle to it is passed in a transaction
+// or it is registered with a context manager.
+func (p *Proc) NewNode(name string, h Handler) *Node {
+	d := p.driver
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextNode++
+	return &Node{id: d.nextNode, name: name, owner: p, h: h}
+}
+
+// BecomeContextManager registers node as the Context Manager for p's
+// namespace. Binder allows only one Context Manager per namespace; the
+// driver identifies the container from which the registration comes, so
+// subsequent references to handle 0 within that container resolve here.
+func (p *Proc) BecomeContextManager(node *Node) error {
+	d := p.driver
+	d.mu.Lock()
+	if p.dead {
+		d.mu.Unlock()
+		return ErrDeadProc
+	}
+	if node.owner != p {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: context manager node must be owned by caller", ErrPermission)
+	}
+	if p.ns.mgr != nil && !p.ns.mgr.dead() {
+		d.mu.Unlock()
+		return ErrAlreadyManager
+	}
+	p.ns.mgr = node
+	// Replay prior PUBLISH_TO_ALL_NS registrations into this new manager,
+	// unless this namespace is the device container itself.
+	var replay []publishedService
+	if p.ns != d.devcon {
+		replay = append(replay, d.published...)
+	}
+	d.mu.Unlock()
+	for _, svc := range replay {
+		// Registration failures for individual services must not prevent the
+		// manager from coming up; the driver keeps going, as a kernel would.
+		_, _ = d.transactLocked(kernelSender(), node, CodeAddService, []byte(svc.name), []*Node{svc.node})
+	}
+	return nil
+}
+
+func (n *Node) dead() bool { return n.owner == nil || n.owner.dead }
+
+// Exit detaches the process: all its nodes become dead, its handles are
+// released, and death notifications registered against its nodes fire.
+func (p *Proc) Exit() {
+	d := p.driver
+	d.mu.Lock()
+	if p.dead {
+		d.mu.Unlock()
+		return
+	}
+	p.dead = true
+	p.handles = make(map[Handle]*Node)
+	links := d.deathLinks[p]
+	delete(d.deathLinks, p)
+	d.mu.Unlock()
+	for _, l := range links {
+		l.fn()
+	}
+}
+
+// LinkToDeath registers a callback that fires when the owner of the node
+// behind h exits — Binder's death notification mechanism, which the
+// ServiceManager uses to drop registrations of crashed services.
+func (p *Proc) LinkToDeath(h Handle, fn func()) error {
+	d := p.driver
+	d.mu.Lock()
+	node, err := p.resolve(h)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.deathLinks[node.owner] = append(d.deathLinks[node.owner], deathLink{node: node, fn: fn})
+	d.mu.Unlock()
+	return nil
+}
+
+// resolve maps a handle to a node under d.mu.
+func (p *Proc) resolve(h Handle) (*Node, error) {
+	if p.dead {
+		return nil, ErrDeadProc
+	}
+	if h == ContextManagerHandle {
+		if p.ns.mgr == nil || p.ns.mgr.dead() {
+			return nil, ErrNoContextManager
+		}
+		return p.ns.mgr, nil
+	}
+	n, ok := p.handles[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadHandle, h)
+	}
+	if n.dead() {
+		return nil, ErrDeadNode
+	}
+	return n, nil
+}
+
+// install adds a node to the process' handle table, returning the handle.
+// Caller holds d.mu.
+func (p *Proc) install(n *Node) Handle {
+	for h, existing := range p.handles {
+		if existing == n {
+			return h
+		}
+	}
+	h := p.next
+	p.next++
+	p.handles[h] = n
+	return h
+}
+
+// NodeFor returns the node a handle refers to, for passing a received
+// service reference onward in a Reply.
+func (p *Proc) NodeFor(h Handle) (*Node, error) {
+	p.driver.mu.Lock()
+	defer p.driver.mu.Unlock()
+	return p.resolve(h)
+}
+
+// Transact sends a synchronous transaction to the node referenced by h,
+// passing any local nodes as objects. The reply's object references are
+// installed in p's handle table and returned as handles.
+func (p *Proc) Transact(h Handle, code uint32, data []byte, objects []*Node) ([]byte, []Handle, error) {
+	if len(data) > MaxTransactionBytes {
+		return nil, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
+	}
+	d := p.driver
+	d.mu.Lock()
+	target, err := p.resolve(h)
+	if err != nil {
+		d.mu.Unlock()
+		return nil, nil, err
+	}
+	sender := Sender{PID: p.pid, EUID: p.euid, Container: p.ns.name}
+	d.mu.Unlock()
+
+	reply, err := d.transactLocked(sender, target, code, data, objects)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p.dead {
+		return nil, nil, ErrDeadProc
+	}
+	handles := make([]Handle, len(reply.Objects))
+	for i, n := range reply.Objects {
+		handles[i] = p.install(n)
+	}
+	return reply.Data, handles, nil
+}
+
+// transactLocked delivers a transaction to target, translating object nodes
+// into handles in the target's process. Must be called WITHOUT d.mu held;
+// the name records that the driver state it touches is internally locked.
+func (d *Driver) transactLocked(sender Sender, target *Node, code uint32, data []byte, objects []*Node) (Reply, error) {
+	d.mu.Lock()
+	if target.dead() {
+		d.mu.Unlock()
+		return Reply{}, ErrDeadNode
+	}
+	owner := target.owner
+	objHandles := make([]Handle, len(objects))
+	for i, n := range objects {
+		objHandles[i] = owner.install(n)
+	}
+	h := target.h
+	d.mu.Unlock()
+	if h == nil {
+		return Reply{}, fmt.Errorf("binder: node %q has no handler", target.name)
+	}
+	return h(Txn{Code: code, Data: data, Objects: objHandles, Sender: sender})
+}
+
+func kernelSender() Sender { return Sender{PID: 0, EUID: 0, Container: "<kernel>"} }
+
+// PublishToAllNS implements the PUBLISH_TO_ALL_NS ioctl: it takes a service
+// name and a handle valid in p, and registers that service with the Context
+// Manager of every other namespace by making the driver's own AddService
+// registration call. Callable only from the device container's namespace,
+// for security. The registration is recorded so namespaces created later
+// receive it too.
+func (p *Proc) PublishToAllNS(name string, h Handle) error {
+	d := p.driver
+	d.mu.Lock()
+	if d.devcon == nil || p.ns != d.devcon {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: PUBLISH_TO_ALL_NS is restricted to the device container", ErrPermission)
+	}
+	node, err := p.resolve(h)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.published = append(d.published, publishedService{name: name, node: node})
+	// Snapshot the managers to call outside the lock.
+	var managers []*Node
+	for _, ns := range d.namespaces {
+		if ns == d.devcon {
+			continue
+		}
+		// The presence of a ServiceManager indicates the container is a
+		// virtual drone running Android Things.
+		if ns.mgr != nil && !ns.mgr.dead() {
+			managers = append(managers, ns.mgr)
+		}
+	}
+	d.mu.Unlock()
+	for _, mgr := range managers {
+		if _, err := d.transactLocked(kernelSender(), mgr, CodeAddService, []byte(name), []*Node{node}); err != nil {
+			return fmt.Errorf("binder: publishing %q to %q: %w", name, mgr.owner.ns.name, err)
+		}
+	}
+	return nil
+}
+
+// PublishToDevCon implements the PUBLISH_TO_DEV_CON ioctl: it registers the
+// node (a container's ActivityManager) with the device container's Context
+// Manager under "<name>:<container>", so device services can locate the
+// calling container's ActivityManager for permission checks.
+func (p *Proc) PublishToDevCon(name string, h Handle) error {
+	d := p.driver
+	d.mu.Lock()
+	if d.devcon == nil {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: no device container designated", ErrNoContextManager)
+	}
+	if p.ns == d.devcon {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: device container cannot publish to itself", ErrPermission)
+	}
+	node, err := p.resolve(h)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	mgr := d.devcon.mgr
+	if mgr == nil || mgr.dead() {
+		d.mu.Unlock()
+		return ErrNoContextManager
+	}
+	scoped := ScopedName(name, p.ns.name)
+	d.mu.Unlock()
+	_, err = d.transactLocked(kernelSender(), mgr, CodeAddService, []byte(scoped), []*Node{node})
+	return err
+}
+
+// ScopedName is the naming convention PUBLISH_TO_DEV_CON uses: the service
+// name appended with the container identifier.
+func ScopedName(service, container string) string {
+	return service + ":" + container
+}

@@ -1,0 +1,338 @@
+// Package cloud implements AnDrone's cloud service components (paper §4,
+// Figure 3): the web portal users order virtual drones through, the app
+// store providing apps for virtual drones, general storage for drone flight
+// data, and the virtual drone repository (VDR) which stores preconfigured
+// virtual drone definitions and saved container state for later use or
+// reuse. The flight planner lives in package planner; package core wires
+// everything together.
+package cloud
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"androne/internal/sdk"
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("cloud: not found")
+	ErrExists   = errors.New("cloud: already exists")
+)
+
+// --------------------------------------------------------------------------
+// App store
+
+// StoreApp is an app published to the AnDrone app store.
+type StoreApp struct {
+	Package     string        `json:"package"`
+	Description string        `json:"description"`
+	Manifest    *sdk.Manifest `json:"manifest"`
+	APK         []byte        `json:"apk,omitempty"`
+}
+
+// AppStore is the AnDrone app store.
+type AppStore struct {
+	mu   sync.Mutex
+	apps map[string]StoreApp
+}
+
+// NewAppStore creates an empty app store.
+func NewAppStore() *AppStore {
+	return &AppStore{apps: make(map[string]StoreApp)}
+}
+
+// Publish adds or updates an app. The manifest must validate.
+func (s *AppStore) Publish(app StoreApp) error {
+	if app.Manifest == nil {
+		return fmt.Errorf("cloud: app %q has no manifest", app.Package)
+	}
+	if err := app.Manifest.Validate(); err != nil {
+		return err
+	}
+	if app.Package != app.Manifest.Package {
+		return fmt.Errorf("cloud: package %q does not match manifest %q", app.Package, app.Manifest.Package)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apps[app.Package] = app
+	return nil
+}
+
+// Get retrieves an app by package name.
+func (s *AppStore) Get(pkg string) (StoreApp, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	app, ok := s.apps[pkg]
+	if !ok {
+		return StoreApp{}, fmt.Errorf("%w: app %q", ErrNotFound, pkg)
+	}
+	return app, nil
+}
+
+// List returns all published apps sorted by package.
+func (s *AppStore) List() []StoreApp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StoreApp, 0, len(s.apps))
+	for _, a := range s.apps {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Package < out[j].Package })
+	return out
+}
+
+// --------------------------------------------------------------------------
+// Cloud storage
+
+// Storage is the general per-user file storage that flight files are
+// offloaded to; users retrieve files on demand after the flight.
+type Storage struct {
+	mu    sync.Mutex
+	files map[string]map[string][]byte // user -> path -> contents
+}
+
+// NewStorage creates empty storage.
+func NewStorage() *Storage {
+	return &Storage{files: make(map[string]map[string][]byte)}
+}
+
+// Put stores a file for a user.
+func (s *Storage) Put(user, path string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.files[user]
+	if !ok {
+		m = make(map[string][]byte)
+		s.files[user] = m
+	}
+	m[path] = append([]byte(nil), data...)
+}
+
+// Get retrieves a user's file.
+func (s *Storage) Get(user, path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.files[user][path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, user, path)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List returns a user's file paths, sorted.
+func (s *Storage) List(user string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.files[user]))
+	for p := range s.files[user] {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UsageBytes returns a user's stored bytes (the billing input).
+func (s *Storage) UsageBytes(user string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, data := range s.files[user] {
+		n += int64(len(data))
+	}
+	return n
+}
+
+// --------------------------------------------------------------------------
+// Virtual drone repository
+
+// VDREntry is a stored virtual drone: its JSON definition plus, when it has
+// flown before, its container checkpoint (diff from the base image) so it
+// can be resumed on a later flight, on any drone hardware.
+type VDREntry struct {
+	Name       string    `json:"name"`
+	Owner      string    `json:"owner"`
+	Definition []byte    `json:"definition"`
+	Checkpoint []byte    `json:"checkpoint,omitempty"`
+	SavedAt    time.Time `json:"saved-at"`
+	Completed  bool      `json:"completed"`
+}
+
+// VDR is the virtual drone repository.
+type VDR struct {
+	mu      sync.Mutex
+	entries map[string]VDREntry
+}
+
+// NewVDR creates an empty repository.
+func NewVDR() *VDR {
+	return &VDR{entries: make(map[string]VDREntry)}
+}
+
+// Save stores or updates a virtual drone entry.
+func (v *VDR) Save(e VDREntry) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.entries[e.Name] = e
+}
+
+// Load retrieves a virtual drone entry.
+func (v *VDR) Load(name string) (VDREntry, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e, ok := v.entries[name]
+	if !ok {
+		return VDREntry{}, fmt.Errorf("%w: virtual drone %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// Delete removes an entry.
+func (v *VDR) Delete(name string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.entries, name)
+}
+
+// List returns entries sorted by name.
+func (v *VDR) List() []VDREntry {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]VDREntry, 0, len(v.entries))
+	for _, e := range v.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// --------------------------------------------------------------------------
+// Orders
+
+// OrderStatus tracks a virtual drone order through the Figure 4 workflow.
+type OrderStatus string
+
+// Order statuses.
+const (
+	OrderPending   OrderStatus = "pending"
+	OrderScheduled OrderStatus = "scheduled"
+	OrderFlying    OrderStatus = "flying"
+	OrderCompleted OrderStatus = "completed"
+	OrderSaved     OrderStatus = "saved" // interrupted; resumable from VDR
+)
+
+// AccessInfo is what the portal provides once a drone takes off: how the
+// user may connect to their virtual drone, much like a newly deployed
+// cloud server.
+type AccessInfo struct {
+	VFCAddr string `json:"vfc-addr"`
+	SSHAddr string `json:"ssh-addr"`
+	VPNKey  string `json:"vpn-key"`
+}
+
+// Order is a virtual drone order.
+type Order struct {
+	ID         string          `json:"id"`
+	User       string          `json:"user"`
+	Name       string          `json:"name"` // virtual drone name
+	Definition json.RawMessage `json:"definition"`
+	Status     OrderStatus     `json:"status"`
+	// WindowStartS/WindowEndS estimate when the drone reaches the order's
+	// first waypoint, as seconds from flight start.
+	WindowStartS float64    `json:"window-start-s"`
+	WindowEndS   float64    `json:"window-end-s"`
+	Access       AccessInfo `json:"access"`
+	// EstimatedCharge previews the energy bill for the allotment.
+	EstimatedCharge float64 `json:"estimated-charge"`
+}
+
+// Orders tracks portal orders.
+type Orders struct {
+	mu     sync.Mutex
+	next   int
+	orders map[string]*Order
+}
+
+// NewOrders creates an empty order book.
+func NewOrders() *Orders {
+	return &Orders{orders: make(map[string]*Order)}
+}
+
+// Create registers a new pending order and assigns its id.
+func (o *Orders) Create(user, name string, def json.RawMessage) *Order {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.next++
+	ord := &Order{
+		ID:         fmt.Sprintf("ord-%04d", o.next),
+		User:       user,
+		Name:       name,
+		Definition: append(json.RawMessage(nil), def...),
+		Status:     OrderPending,
+	}
+	o.orders[ord.ID] = ord
+	return ord
+}
+
+// Get retrieves an order.
+func (o *Orders) Get(id string) (*Order, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ord, ok := o.orders[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: order %q", ErrNotFound, id)
+	}
+	return ord, nil
+}
+
+// Update applies fn to an order under the lock.
+func (o *Orders) Update(id string, fn func(*Order)) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ord, ok := o.orders[id]
+	if !ok {
+		return fmt.Errorf("%w: order %q", ErrNotFound, id)
+	}
+	fn(ord)
+	return nil
+}
+
+// List returns orders sorted by id, optionally filtered by user ("" = all).
+func (o *Orders) List(user string) []Order {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Order, 0, len(o.orders))
+	for _, ord := range o.orders {
+		if user == "" || ord.User == user {
+			out = append(out, *ord)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SanitizeName makes a user-supplied name safe for use as a container and
+// namespace identifier.
+func SanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			b.WriteByte('-')
+		}
+	}
+	out := b.String()
+	if out == "" {
+		out = "vdrone"
+	}
+	return out
+}

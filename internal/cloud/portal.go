@@ -1,0 +1,194 @@
+package cloud
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// DefinitionValidator checks a virtual drone definition; the portal rejects
+// orders whose definitions do not validate. Package core supplies the real
+// validator, keeping the cloud service decoupled from the definition schema.
+type DefinitionValidator func(def []byte) error
+
+// EstimateFunc previews the billing charge and operating window for a
+// definition (energy allotment and waypoints).
+type EstimateFunc func(def []byte) (charge float64, windowStartS, windowEndS float64, err error)
+
+// Portal is the AnDrone web portal: the HTTP front door for ordering and
+// configuring virtual drones, browsing the app store, and retrieving flight
+// files from cloud storage.
+type Portal struct {
+	Apps     *AppStore
+	Files    *Storage
+	Repo     *VDR
+	Orders   *Orders
+	Validate DefinitionValidator
+	Estimate EstimateFunc
+
+	mux *http.ServeMux
+}
+
+// NewPortal assembles the portal over the cloud components. validate may be
+// nil (all definitions accepted); estimate may be nil (no previews).
+func NewPortal(apps *AppStore, files *Storage, repo *VDR, orders *Orders,
+	validate DefinitionValidator, estimate EstimateFunc) *Portal {
+	p := &Portal{Apps: apps, Files: files, Repo: repo, Orders: orders,
+		Validate: validate, Estimate: estimate}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/apps", p.listApps)
+	mux.HandleFunc("GET /api/apps/{pkg}", p.getApp)
+	mux.HandleFunc("POST /api/apps", p.publishApp)
+	mux.HandleFunc("POST /api/orders", p.createOrder)
+	mux.HandleFunc("GET /api/orders", p.listOrders)
+	mux.HandleFunc("GET /api/orders/{id}", p.getOrder)
+	mux.HandleFunc("GET /api/files/{user}", p.listFiles)
+	mux.HandleFunc("GET /api/files/{user}/{path...}", p.getFile)
+	mux.HandleFunc("GET /api/vdr", p.listVDR)
+	p.mux = mux
+	return p
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Portal) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (p *Portal) listApps(w http.ResponseWriter, r *http.Request) {
+	apps := p.Apps.List()
+	// Strip APK bytes from listings.
+	for i := range apps {
+		apps[i].APK = nil
+	}
+	writeJSON(w, http.StatusOK, apps)
+}
+
+func (p *Portal) getApp(w http.ResponseWriter, r *http.Request) {
+	app, err := p.Apps.Get(r.PathValue("pkg"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, app)
+}
+
+func (p *Portal) publishApp(w http.ResponseWriter, r *http.Request) {
+	var app StoreApp
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&app); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := p.Apps.Publish(app); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"package": app.Package})
+}
+
+// orderRequest is the POST /api/orders body.
+type orderRequest struct {
+	User       string          `json:"user"`
+	Name       string          `json:"name"`
+	Definition json.RawMessage `json:"definition"`
+}
+
+func (p *Portal) createOrder(w http.ResponseWriter, r *http.Request) {
+	var req orderRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if req.User == "" || len(req.Definition) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "user and definition required"})
+		return
+	}
+	if p.Validate != nil {
+		if err := p.Validate(req.Definition); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+	}
+	name := SanitizeName(req.Name)
+	if req.Name == "" {
+		name = ""
+	}
+	ord := p.Orders.Create(req.User, name, req.Definition)
+	if ord.Name == "" {
+		ord.Name = ord.ID
+	}
+	if p.Estimate != nil {
+		if charge, ws, we, err := p.Estimate(req.Definition); err == nil {
+			_ = p.Orders.Update(ord.ID, func(o *Order) {
+				o.EstimatedCharge = charge
+				o.WindowStartS, o.WindowEndS = ws, we
+			})
+		}
+	}
+	got, err := p.Orders.Get(ord.ID)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, got)
+}
+
+func (p *Portal) listOrders(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, p.Orders.List(r.URL.Query().Get("user")))
+}
+
+func (p *Portal) getOrder(w http.ResponseWriter, r *http.Request) {
+	ord, err := p.Orders.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ord)
+}
+
+func (p *Portal) listFiles(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, p.Files.List(r.PathValue("user")))
+}
+
+func (p *Portal) getFile(w http.ResponseWriter, r *http.Request) {
+	user := r.PathValue("user")
+	path := r.PathValue("path")
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	data, err := p.Files.Get(user, path)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	_, _ = w.Write(data)
+}
+
+func (p *Portal) listVDR(w http.ResponseWriter, r *http.Request) {
+	entries := p.Repo.List()
+	// Strip checkpoint bytes from listings.
+	for i := range entries {
+		entries[i].Checkpoint = nil
+		entries[i].Definition = nil
+	}
+	writeJSON(w, http.StatusOK, entries)
+}

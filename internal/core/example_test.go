@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"androne/internal/core"
+)
+
+// ExampleParseDefinition shows the paper's Figure 2 virtual drone JSON
+// specification being parsed and validated.
+func ExampleParseDefinition() {
+	def, err := core.ParseDefinition([]byte(`{
+	  "name": "survey-vd",
+	  "owner": "buildco",
+	  "waypoints": [
+	    { "latitude": 43.6084298, "longitude": -85.8110359, "altitude": 15, "max-radius": 30 },
+	    { "latitude": 43.6076409, "longitude": -85.8154457, "altitude": 15, "max-radius": 20 }
+	  ],
+	  "max-duration": 600,
+	  "energy-allotted": 45000,
+	  "continuous-devices": [],
+	  "waypoint-devices": ["camera", "flight-control"],
+	  "apps": ["com.example.survey"]
+	}`))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s: %d waypoints, %.0f J allotted, flight control: %v\n",
+		def.Name, len(def.Waypoints), def.EnergyAllotted, def.HasFlightControl())
+	// Output: survey-vd: 2 waypoints, 45000 J allotted, flight control: true
+}
+
+// ExampleValidateDefinitionJSON shows the portal-side validation hook
+// rejecting a definition that requests continuous flight control, which the
+// paper forbids.
+func ExampleValidateDefinitionJSON() {
+	err := core.ValidateDefinitionJSON([]byte(`{
+	  "waypoints": [{ "latitude": 43.6, "longitude": -85.8, "altitude": 15, "max-radius": 30 }],
+	  "max-duration": 60,
+	  "energy-allotted": 1000,
+	  "continuous-devices": ["flight-control"]
+	}`))
+	fmt.Println(err)
+	// Output: core: flight-control can only be a waypoint device
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"androne/internal/android"
+	"androne/internal/binder"
+	"androne/internal/devcon"
+	"androne/internal/geo"
+	"androne/internal/mavlink"
+	"androne/internal/planner"
+	"androne/internal/sdk"
+)
+
+// evilApp is an adversarial tenant: every Tick it attacks the system —
+// ungranted device access, out-of-fence and forbidden flight commands,
+// attempts to seize driver privileges, and oversized Binder transactions —
+// while never completing its waypoint.
+type evilApp struct {
+	ctx    *AppContext
+	active bool
+
+	deviceDenied   int
+	fenceDenied    int
+	modeDenied     int
+	publishDenied  int
+	oversizedFails int
+}
+
+func newEvilFactory(rec *evilApp) AppFactory {
+	return func(ctx *AppContext) android.Lifecycle {
+		rec.ctx = ctx
+		ctx.SDK.RegisterWaypointListener(sdk.ListenerFuncs{
+			Active:   func(geo.Waypoint) { rec.active = true },
+			Inactive: func(geo.Waypoint) { rec.active = false },
+		})
+		return rec
+	}
+}
+
+func (a *evilApp) OnCreate(*android.App, []byte)           {}
+func (a *evilApp) OnSaveInstanceState(*android.App) []byte { return nil }
+func (a *evilApp) OnDestroy(*android.App)                  {}
+
+func (a *evilApp) Tick(dt float64) {
+	vd := a.ctx.VD
+	ns := vd.Instance.Namespace()
+
+	// 1. Device access without a permission grant (uid 66666 has nothing).
+	rogue := android.NewClient(ns, 66666)
+	if h, err := rogue.GetService(devcon.SvcCamera); err == nil {
+		if _, _, err := rogue.Call(h, devcon.CmdCapture, nil); errors.Is(err, devcon.ErrPermissionDenied) {
+			a.deviceDenied++
+		}
+	}
+
+	// 2. Fly the drone out of its geofence.
+	far := geo.OffsetNE(vd.Def.Waypoints[0].LatLon, 5000, 0)
+	for _, m := range vd.VFC.Send(&mavlink.SetPositionTargetGlobalInt{
+		LatE7: mavlink.LatLonToE7(far.Lat), LonE7: mavlink.LatLonToE7(far.Lon), Alt: 200,
+	}) {
+		if ack, ok := m.(*mavlink.CommandAck); ok && ack.Result == mavlink.ResultDenied {
+			a.fenceDenied++
+		}
+	}
+
+	// 3. Hijack the flight: RTL (would fly to the provider's home).
+	for _, m := range vd.VFC.Send(&mavlink.CommandLong{Command: mavlink.CmdNavReturnToLaunch}) {
+		if ack, ok := m.(*mavlink.CommandAck); ok && ack.Result != mavlink.ResultAccepted {
+			a.modeDenied++
+		}
+	}
+
+	// 4. Seize the PUBLISH_TO_ALL_NS privilege from inside the container.
+	p := ns.Attach(66666)
+	node := p.NewNode("evil", func(binder.Txn) (binder.Reply, error) { return binder.Reply{}, nil })
+	c := android.NewClient(ns, 66666)
+	if err := c.AddService("evil-svc", node); err == nil {
+		if h, err := c.GetService("evil-svc"); err == nil {
+			if err := c.Proc().PublishToAllNS("evil-svc", h); errors.Is(err, binder.ErrPermission) {
+				a.publishDenied++
+			}
+		}
+	}
+
+	// 5. Exhaust the Binder buffer with an oversized transaction.
+	big := make([]byte, binder.MaxTransactionBytes+1)
+	if _, _, err := c.Proc().Transact(binder.ContextManagerHandle, binder.CodePing, big, nil); errors.Is(err, binder.ErrTooLarge) {
+		a.oversizedFails++
+	}
+}
+
+func TestAdversarialTenantContained(t *testing.T) {
+	// An honest tenant and an adversarial tenant share one flight. Every
+	// attack is refused, the honest tenant completes normally, and the
+	// drone comes home stable — the paper's claim that untrusted
+	// third-party software runs "without undue risk to the physical drone".
+	d := newTestDrone(t)
+	evil := &evilApp{}
+	d.VDC.RegisterAppFactory("com.evil.app", newEvilFactory(evil))
+	d.VDC.RegisterAppFactory("com.honest.app", newQuickAppFactory("com.honest.app"))
+
+	evilDef := defWith("evil", 1, "com.evil.app")
+	evilDef.Owner = "mallory"
+	evilDef.MaxDuration = 8 // its allotment cuts it off
+	honestDef := defWith("honest", 1, "com.honest.app")
+	honestDef.Waypoints[0].Position.LatLon = geo.OffsetNE(testHome.LatLon, -70, 50)
+	honestDef.MaxDuration = 120
+
+	for _, def := range []*Definition{evilDef, honestDef} {
+		if _, err := d.VDC.Create(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env := NewCloudEnv()
+	report, err := d.ExecuteRoute(routeFor(t, d, evilDef, honestDef), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every attack vector was exercised and refused.
+	if evil.deviceDenied == 0 {
+		t.Error("ungranted device access never denied")
+	}
+	if evil.fenceDenied == 0 {
+		t.Error("out-of-fence command never denied")
+	}
+	if evil.modeDenied == 0 {
+		t.Error("RTL hijack never denied")
+	}
+	if evil.publishDenied == 0 {
+		t.Error("PUBLISH_TO_ALL_NS seizure never denied")
+	}
+	if evil.oversizedFails == 0 {
+		t.Error("oversized transaction never rejected")
+	}
+
+	// The honest tenant was unaffected.
+	honest := report.PerDrone["honest"]
+	if honest == nil || !honest.Completed {
+		t.Fatalf("honest tenant: %+v", honest)
+	}
+	if len(env.Storage.List("alice")) == 0 {
+		t.Error("honest tenant's files not delivered")
+	}
+	// The flight itself was unaffected.
+	if !report.ReturnedHome {
+		t.Fatal("drone did not return home")
+	}
+	if !report.AED.Pass {
+		t.Fatalf("flight destabilized: %+v", report.AED)
+	}
+	// The adversary was cut off by its allotment, saved (not completed).
+	evilRep := report.PerDrone["evil"]
+	if evilRep.TimeUsedS < 7.5 {
+		t.Fatalf("evil dwell = %g, want allotment consumed", evilRep.TimeUsedS)
+	}
+}
+
+func TestTenantFileIsolation(t *testing.T) {
+	// One tenant's container files and cloud storage are invisible to the
+	// other; names collide harmlessly.
+	d := newTestDrone(t)
+	a, err := d.VDC.Create(defWith("tenant-a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bDef := defWith("tenant-b", 1)
+	bDef.Owner = "bob"
+	b, err := d.VDC.Create(bDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Container.WriteFile("/data/secret", []byte("alpha"))
+	b.Container.WriteFile("/data/secret", []byte("bravo"))
+	got, err := a.Container.ReadFile("/data/secret")
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("tenant-a secret = %q, %v", got, err)
+	}
+	got, _ = b.Container.ReadFile("/data/secret")
+	if string(got) != "bravo" {
+		t.Fatalf("tenant-b secret = %q", got)
+	}
+}
+
+func TestPlannerRouteHelperMultipleDefs(t *testing.T) {
+	// Regression guard for the test helper itself: routes include every
+	// definition exactly once.
+	d := newTestDrone(t)
+	d1, d2 := defWith("r1", 1), defWith("r2", 2)
+	route := routeFor(t, d, d1, d2)
+	if len(route.Stops) != 3 {
+		t.Fatalf("stops = %d", len(route.Stops))
+	}
+	_ = planner.Route{}
+}

@@ -1,0 +1,227 @@
+// Package energy implements AnDrone's energy accounting: the multirotor
+// energy consumption model of Dorling et al. (the basis of the cloud flight
+// planner's routing costs), the single-board-computer power model behind the
+// paper's §6.4 measurements, flight-time estimation, and the energy-based
+// billing AnDrone uses in place of time-based cloud billing — "a drone's
+// flight time is limited and can vary greatly, so AnDrone bills drone usage
+// based on energy consumption, like a traditional energy utility service."
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants.
+const (
+	Gravity    = 9.80665 // m/s^2
+	AirDensity = 1.225   // kg/m^3
+)
+
+// Multirotor is the Dorling et al. drone energy model: hover power derives
+// from momentum theory, P = (W+m)^{3/2} * sqrt(g^3 / (2 rho n A)) / eta,
+// with W the frame+battery weight, m the payload, n the rotor count, and A
+// the area of one rotor disk.
+type Multirotor struct {
+	FrameKg     float64 // frame + avionics mass
+	BatteryKg   float64 // battery mass
+	Rotors      int     // rotor count
+	RotorAreaM2 float64 // area of one rotor disk
+	Eta         float64 // power transfer efficiency (0, 1]
+	ParasiticW  float64 // avionics/SBC constant draw
+	DragN       float64 // equivalent flat-plate drag at 1 m/s (linear model)
+}
+
+// DefaultMultirotor matches the paper's F450 prototype.
+func DefaultMultirotor() Multirotor {
+	return Multirotor{
+		FrameKg:     1.19,
+		BatteryKg:   0.41,
+		Rotors:      4,
+		RotorAreaM2: math.Pi * 0.12 * 0.12,
+		Eta:         0.60,
+		ParasiticW:  3.4,
+		DragN:       0.35,
+	}
+}
+
+// HoverPowerW returns the electrical power to hover with the given payload.
+func (m Multirotor) HoverPowerW(payloadKg float64) float64 {
+	w := (m.FrameKg + m.BatteryKg + payloadKg) * Gravity
+	perRotor := w / float64(m.Rotors)
+	induced := float64(m.Rotors) * math.Pow(perRotor, 1.5) /
+		math.Sqrt(2*AirDensity*m.RotorAreaM2)
+	return induced/m.Eta + m.ParasiticW
+}
+
+// CruisePowerW returns power in forward flight at speed with payload: hover
+// power plus drag power (drag force times airspeed through the powertrain).
+func (m Multirotor) CruisePowerW(payloadKg, speedMS float64) float64 {
+	return m.HoverPowerW(payloadKg) + m.DragN*speedMS*speedMS/m.Eta
+}
+
+// LegEnergyJ returns the energy to fly distM meters at speedMS with payload.
+func (m Multirotor) LegEnergyJ(distM, speedMS, payloadKg float64) float64 {
+	if speedMS <= 0 {
+		return 0
+	}
+	return m.CruisePowerW(payloadKg, speedMS) * (distM / speedMS)
+}
+
+// HoverEnergyJ returns the energy to hover for the given seconds.
+func (m Multirotor) HoverEnergyJ(seconds, payloadKg float64) float64 {
+	return m.HoverPowerW(payloadKg) * seconds
+}
+
+// EnduranceS estimates hover endurance in seconds on batteryJ joules.
+func (m Multirotor) EnduranceS(batteryJ, payloadKg float64) float64 {
+	return batteryJ / m.HoverPowerW(payloadKg)
+}
+
+// RangeM estimates the distance flyable at speedMS on batteryJ joules.
+func (m Multirotor) RangeM(batteryJ, speedMS, payloadKg float64) float64 {
+	return batteryJ / m.CruisePowerW(payloadKg, speedMS) * speedMS
+}
+
+// --------------------------------------------------------------------------
+// SBC power model (§6.4)
+
+// SBCConfig describes one of the §6.4 measurement configurations.
+type SBCConfig struct {
+	// DevFlightContainers adds the device and flight containers.
+	DevFlightContainers bool
+	// VirtualDrones is the number of idle virtual drones running.
+	VirtualDrones int
+	// Stressed runs the stress+iperf workloads at full tilt.
+	Stressed bool
+}
+
+// SBC power model constants calibrated to the paper: stock Android Things
+// idles around 1.65 W; with three virtual drones AnDrone draws ~1.7 W (all
+// configurations within 3% of stock); fully stressed, every configuration
+// draws the same 3.4 W because the CPU is saturated regardless of how many
+// containers share it.
+const (
+	sbcStockIdleW    = 1.652
+	sbcPerContainerW = 0.010
+	sbcDevFlightW    = 0.018
+	sbcStressedW     = 3.4
+)
+
+// SBCPowerW returns the SBC's power draw for a configuration.
+func SBCPowerW(cfg SBCConfig) float64 {
+	if cfg.Stressed {
+		return sbcStressedW
+	}
+	w := sbcStockIdleW
+	if cfg.DevFlightContainers {
+		w += sbcDevFlightW
+	}
+	w += float64(cfg.VirtualDrones) * sbcPerContainerW
+	return w
+}
+
+// StockIdleW is the stock Android Things idle draw the figure normalizes to.
+func StockIdleW() float64 { return sbcStockIdleW }
+
+// --------------------------------------------------------------------------
+// Billing
+
+// Rates are AnDrone's utility-style prices.
+type Rates struct {
+	// EnergyPerKWh is the price per kilowatt-hour of drone energy.
+	EnergyPerKWh float64
+	// StoragePerGBMonth is the cloud storage price.
+	StoragePerGBMonth float64
+	// NetworkPerGB is the data transfer price.
+	NetworkPerGB float64
+}
+
+// DefaultRates returns plausible consumer prices.
+func DefaultRates() Rates {
+	return Rates{EnergyPerKWh: 25.0, StoragePerGBMonth: 0.03, NetworkPerGB: 0.09}
+}
+
+// Usage is one virtual drone's metered consumption for a flight.
+type Usage struct {
+	EnergyJ       float64
+	StorageBytes  int64
+	NetworkBytes  int64
+	StorageMonths float64
+}
+
+// Bill is an itemized charge.
+type Bill struct {
+	EnergyCharge  float64
+	StorageCharge float64
+	NetworkCharge float64
+}
+
+// Total returns the bill total.
+func (b Bill) Total() float64 { return b.EnergyCharge + b.StorageCharge + b.NetworkCharge }
+
+func (b Bill) String() string {
+	return fmt.Sprintf("energy %.4f + storage %.4f + network %.4f = %.4f",
+		b.EnergyCharge, b.StorageCharge, b.NetworkCharge, b.Total())
+}
+
+// Compute prices a usage record. Drone usage is billed on energy; storage
+// and network are billed like regular cloud services.
+func (r Rates) Compute(u Usage) Bill {
+	const gb = 1 << 30
+	return Bill{
+		EnergyCharge:  u.EnergyJ / 3.6e6 * r.EnergyPerKWh,
+		StorageCharge: float64(u.StorageBytes) / gb * u.StorageMonths * r.StoragePerGBMonth,
+		NetworkCharge: float64(u.NetworkBytes) / gb * r.NetworkPerGB,
+	}
+}
+
+// MaxEnergyForCharge inverts the energy charge: given a user's maximum
+// billing charge, how many joules may their virtual drone consume at its
+// waypoints. This is how the portal turns a price cap into the
+// energy-allotted field of the virtual drone definition.
+func (r Rates) MaxEnergyForCharge(maxCharge float64) float64 {
+	if r.EnergyPerKWh <= 0 {
+		return math.Inf(1)
+	}
+	return maxCharge / r.EnergyPerKWh * 3.6e6
+}
+
+// Allotment meters a virtual drone's energy and time budget during flight
+// (the max-duration and energy-allotted fields of the definition).
+type Allotment struct {
+	MaxDurationS float64
+	EnergyJ      float64
+
+	usedS float64
+	usedJ float64
+}
+
+// NewAllotment creates an allotment with the given budgets.
+func NewAllotment(maxDurationS, energyJ float64) *Allotment {
+	return &Allotment{MaxDurationS: maxDurationS, EnergyJ: energyJ}
+}
+
+// Consume records elapsed waypoint time and energy.
+func (a *Allotment) Consume(seconds, joules float64) {
+	a.usedS += seconds
+	a.usedJ += joules
+}
+
+// TimeLeftS returns remaining allotted seconds (never negative).
+func (a *Allotment) TimeLeftS() float64 { return math.Max(0, a.MaxDurationS-a.usedS) }
+
+// EnergyLeftJ returns remaining allotted joules (never negative).
+func (a *Allotment) EnergyLeftJ() float64 { return math.Max(0, a.EnergyJ-a.usedJ) }
+
+// Exhausted reports whether either budget is spent — "whichever is
+// exhausted first dictating when control must be taken away."
+func (a *Allotment) Exhausted() bool {
+	return a.usedS >= a.MaxDurationS || a.usedJ >= a.EnergyJ
+}
+
+// Low reports whether less than frac of either budget remains, driving the
+// SDK's lowEnergyWarning and lowTimeWarning callbacks.
+func (a *Allotment) Low(frac float64) (timeLow, energyLow bool) {
+	return a.TimeLeftS() < frac*a.MaxDurationS, a.EnergyLeftJ() < frac*a.EnergyJ
+}

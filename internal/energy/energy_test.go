@@ -1,0 +1,209 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHoverPowerRealistic(t *testing.T) {
+	m := DefaultMultirotor()
+	p := m.HoverPowerW(0)
+	// F450-class hover draw: 100-250 W.
+	if p < 100 || p > 250 {
+		t.Fatalf("hover power = %.1f W", p)
+	}
+	// Payload increases power superlinearly (3/2 exponent).
+	p1 := m.HoverPowerW(0.5)
+	p2 := m.HoverPowerW(1.0)
+	if p1 <= p || p2 <= p1 {
+		t.Fatal("power not increasing with payload")
+	}
+	gain1 := p1 - p
+	gain2 := p2 - p1
+	if gain2 <= gain1 {
+		t.Fatalf("marginal power not increasing: +%.1f then +%.1f", gain1, gain2)
+	}
+}
+
+func TestEnduranceMatchesConsumerDrones(t *testing.T) {
+	m := DefaultMultirotor()
+	// 5000 mAh 3S ~ 200 kJ: the paper cites ~20 minute flights.
+	e := m.EnduranceS(199800, 0) / 60
+	if e < 12 || e > 35 {
+		t.Fatalf("endurance = %.1f min", e)
+	}
+}
+
+func TestCruisePower(t *testing.T) {
+	m := DefaultMultirotor()
+	hover := m.HoverPowerW(0)
+	cruise := m.CruisePowerW(0, 8)
+	if cruise <= hover {
+		t.Fatal("cruise power not above hover")
+	}
+	if m.CruisePowerW(0, 0) != hover {
+		t.Fatal("zero-speed cruise != hover")
+	}
+}
+
+func TestLegEnergy(t *testing.T) {
+	m := DefaultMultirotor()
+	// 1 km at 10 m/s = 100 s of cruise power.
+	e := m.LegEnergyJ(1000, 10, 0)
+	want := m.CruisePowerW(0, 10) * 100
+	if math.Abs(e-want) > 1e-9 {
+		t.Fatalf("leg energy = %g, want %g", e, want)
+	}
+	if m.LegEnergyJ(1000, 0, 0) != 0 {
+		t.Fatal("zero speed should cost nothing (degenerate)")
+	}
+}
+
+func TestLegEnergyProperty(t *testing.T) {
+	m := DefaultMultirotor()
+	if err := quick.Check(func(rawD, rawV float64) bool {
+		d := math.Abs(math.Mod(rawD, 10000))
+		v := 1 + math.Abs(math.Mod(rawV, 15))
+		e := m.LegEnergyJ(d, v, 0)
+		// Energy is non-negative and monotone in distance.
+		return e >= 0 && m.LegEnergyJ(d+100, v, 0) > e
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := DefaultMultirotor()
+	r := m.RangeM(199800, 10, 0)
+	// 200 kJ at ~10 m/s: several kilometers.
+	if r < 3000 || r > 20000 {
+		t.Fatalf("range = %.0f m", r)
+	}
+}
+
+func TestSBCPowerWithin3PercentOfStock(t *testing.T) {
+	// Figure 13: all idle configurations within 3% of stock.
+	stock := StockIdleW()
+	configs := []SBCConfig{
+		{},
+		{DevFlightContainers: true},
+		{DevFlightContainers: true, VirtualDrones: 1},
+		{DevFlightContainers: true, VirtualDrones: 2},
+		{DevFlightContainers: true, VirtualDrones: 3},
+	}
+	for _, cfg := range configs {
+		w := SBCPowerW(cfg)
+		if rel := math.Abs(w-stock) / stock; rel > 0.03 {
+			t.Errorf("config %+v: %.3f W is %.1f%% from stock", cfg, w, rel*100)
+		}
+	}
+	// Three virtual drones: ~1.7 W.
+	w3 := SBCPowerW(SBCConfig{DevFlightContainers: true, VirtualDrones: 3})
+	if w3 < 1.65 || w3 > 1.75 {
+		t.Fatalf("3-drone idle = %.3f W, want ~1.7", w3)
+	}
+	// Power is monotonically non-decreasing in the number of drones.
+	for i := 0; i < 3; i++ {
+		a := SBCPowerW(SBCConfig{DevFlightContainers: true, VirtualDrones: i})
+		b := SBCPowerW(SBCConfig{DevFlightContainers: true, VirtualDrones: i + 1})
+		if b < a {
+			t.Fatalf("power decreased from %d to %d drones", i, i+1)
+		}
+	}
+}
+
+func TestSBCStressedSame(t *testing.T) {
+	// §6.4: fully stressed, energy usage was the same 3.4 W across stock and
+	// all AnDrone configurations.
+	for drones := 0; drones <= 3; drones++ {
+		w := SBCPowerW(SBCConfig{DevFlightContainers: true, VirtualDrones: drones, Stressed: true})
+		if w != 3.4 {
+			t.Fatalf("stressed with %d drones = %g W", drones, w)
+		}
+	}
+	// Compute power is insignificant vs flight draw (>100 W).
+	if SBCPowerW(SBCConfig{Stressed: true}) > DefaultMultirotor().HoverPowerW(0)*0.05 {
+		t.Fatal("SBC draw not negligible vs flight power")
+	}
+}
+
+func TestBilling(t *testing.T) {
+	r := DefaultRates()
+	u := Usage{
+		EnergyJ:       45000, // the Figure 2 example allotment
+		StorageBytes:  2 << 30,
+		NetworkBytes:  1 << 30,
+		StorageMonths: 1,
+	}
+	b := r.Compute(u)
+	if b.EnergyCharge <= 0 || b.StorageCharge <= 0 || b.NetworkCharge <= 0 {
+		t.Fatalf("bill = %v", b)
+	}
+	wantEnergy := 45000.0 / 3.6e6 * 25
+	if math.Abs(b.EnergyCharge-wantEnergy) > 1e-9 {
+		t.Fatalf("energy charge = %g, want %g", b.EnergyCharge, wantEnergy)
+	}
+	if math.Abs(b.Total()-(b.EnergyCharge+b.StorageCharge+b.NetworkCharge)) > 1e-12 {
+		t.Fatal("total mismatch")
+	}
+	if b.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestMaxEnergyForCharge(t *testing.T) {
+	r := DefaultRates()
+	j := r.MaxEnergyForCharge(1.0) // one currency unit
+	// Round trip: billing that energy costs the cap.
+	b := r.Compute(Usage{EnergyJ: j})
+	if math.Abs(b.EnergyCharge-1.0) > 1e-9 {
+		t.Fatalf("round trip = %g", b.EnergyCharge)
+	}
+	free := Rates{}
+	if !math.IsInf(free.MaxEnergyForCharge(1), 1) {
+		t.Fatal("zero rate should allow unlimited energy")
+	}
+}
+
+func TestAllotment(t *testing.T) {
+	a := NewAllotment(600, 45000) // the Figure 2 example
+	if a.Exhausted() {
+		t.Fatal("fresh allotment exhausted")
+	}
+	if a.TimeLeftS() != 600 || a.EnergyLeftJ() != 45000 {
+		t.Fatalf("left = %g s, %g J", a.TimeLeftS(), a.EnergyLeftJ())
+	}
+	a.Consume(100, 10000)
+	if a.TimeLeftS() != 500 || a.EnergyLeftJ() != 35000 {
+		t.Fatalf("after consume: %g s, %g J", a.TimeLeftS(), a.EnergyLeftJ())
+	}
+	tl, el := a.Low(0.2)
+	if tl || el {
+		t.Fatal("not low yet")
+	}
+	// Energy exhausts first: "whichever is exhausted first dictating when
+	// control must be taken away."
+	a.Consume(100, 36000)
+	if !a.Exhausted() {
+		t.Fatal("should be exhausted on energy")
+	}
+	if a.EnergyLeftJ() != 0 {
+		t.Fatalf("energy left = %g, want clamped 0", a.EnergyLeftJ())
+	}
+	if a.TimeLeftS() != 400 {
+		t.Fatalf("time left = %g", a.TimeLeftS())
+	}
+}
+
+func TestAllotmentLowWarnings(t *testing.T) {
+	a := NewAllotment(100, 1000)
+	a.Consume(85, 500)
+	tl, el := a.Low(0.2)
+	if !tl {
+		t.Fatal("time should be low at 15% remaining")
+	}
+	if el {
+		t.Fatal("energy not low at 50% remaining")
+	}
+}

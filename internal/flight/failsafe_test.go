@@ -1,0 +1,107 @@
+package flight
+
+import (
+	"math"
+	"testing"
+
+	"androne/internal/geo"
+	"androne/internal/mavlink"
+	"androne/internal/sitl"
+)
+
+func TestBatteryFailsafeForcesRTL(t *testing.T) {
+	// A tiny battery drains within the flight; the failsafe must force RTL
+	// and bring the drone home before the pack dies.
+	params := sitl.DefaultParams()
+	params.BatteryJ = 22000 // ~2.4 min of hover
+	v := NewVehicleParams(home, params, t.Name(), WithBatteryFailsafe(0.35))
+	v.StepSeconds(0.1)
+	c := v.Controller
+	if err := c.SetModeNum(mavlink.ModeGuided); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Takeoff(15); err != nil {
+		t.Fatal(err)
+	}
+	v.RunUntil(func() bool { return v.Sim.AltitudeAGL() > 14 }, 30)
+	// Park the drone away from home so RTL has real work to do.
+	target := geo.Position{LatLon: geo.OffsetNE(home.LatLon, 60, 0), Alt: 15}
+	if err := c.GotoPosition(target, 0); err != nil {
+		t.Fatal(err)
+	}
+	v.RunUntil(func() bool { return geo.Distance3D(v.Sim.Position(), target) < 2 }, 60)
+
+	// Loiter until the battery sags below the threshold.
+	ok := v.RunUntil(func() bool { return c.BatteryFailsafed() }, 200)
+	if !ok {
+		t.Fatalf("failsafe never fired; soc %.2f", v.Sim.BatteryRemaining())
+	}
+	if c.Mode() != mavlink.ModeRTL && c.Mode() != mavlink.ModeLand {
+		t.Fatalf("mode after failsafe = %s", mavlink.ModeName(c.Mode()))
+	}
+	ok = v.RunUntil(func() bool { return v.Sim.OnGround() && !c.Armed() }, 120)
+	if !ok {
+		t.Fatal("did not land after failsafe")
+	}
+	n, e := v.Sim.NE()
+	if math.Hypot(n, e) > 3 {
+		t.Fatalf("failsafe landed %.1f m from home", math.Hypot(n, e))
+	}
+	if v.Sim.BatteryRemaining() <= 0 {
+		t.Fatal("battery fully depleted before landing")
+	}
+}
+
+func TestBatteryFailsafeDisabledByDefault(t *testing.T) {
+	v := prepare(t)
+	takeoffTo(t, v, 10)
+	v.StepSeconds(5)
+	if v.Controller.BatteryFailsafed() {
+		t.Fatal("failsafe fired while disabled")
+	}
+}
+
+func TestMotorDegradationCompensated(t *testing.T) {
+	// A 20% thrust loss on one motor: the rate-loop integrators retrim and
+	// the drone keeps holding its hover position.
+	v := prepare(t)
+	takeoffTo(t, v, 12)
+	if err := v.Controller.SetModeNum(mavlink.ModeLoiter); err != nil {
+		t.Fatal(err)
+	}
+	p0 := v.Sim.Position()
+	v.Sim.SetMotorHealth(0, 0.80)
+	v.StepSeconds(10)
+	if v.Sim.OnGround() {
+		t.Fatal("crashed with a 20% degraded motor")
+	}
+	if d := geo.Distance3D(p0, v.Sim.Position()); d > 5 {
+		t.Fatalf("drifted %.1f m with a degraded motor", d)
+	}
+	roll, pitch, _ := v.Sim.Attitude()
+	if math.Abs(roll) > 0.15 || math.Abs(pitch) > 0.15 {
+		t.Fatalf("attitude not retrimmed: roll %.2f pitch %.2f", roll, pitch)
+	}
+}
+
+func TestMotorFailureCrashes(t *testing.T) {
+	// Complete loss of one motor is unrecoverable for a quadcopter: the
+	// vehicle departs controlled flight. This documents the boundary the
+	// paper's hardware failsafe (Navio2 microcontroller) exists for.
+	v := prepare(t)
+	takeoffTo(t, v, 20)
+	if err := v.Controller.SetModeNum(mavlink.ModeLoiter); err != nil {
+		t.Fatal(err)
+	}
+	v.Sim.SetMotorHealth(2, 0)
+	ok := v.RunUntil(func() bool {
+		roll, pitch, _ := v.Sim.Attitude()
+		return v.Sim.OnGround() || math.Abs(roll) > 0.8 || math.Abs(pitch) > 0.8
+	}, 30)
+	if !ok {
+		t.Fatal("quad held position with a dead motor; model too forgiving")
+	}
+}

@@ -1,0 +1,107 @@
+package flight
+
+import (
+	"math"
+	"sync"
+)
+
+// Sample is one flight log record: the controller's attitude estimate and,
+// when available, the canonical (ground-truth) attitude.
+type Sample struct {
+	T                            float64 // seconds since boot
+	EstRoll, EstPitch, EstYaw    float64
+	TrueRoll, TruePitch, TrueYaw float64
+	HasTruth                     bool
+}
+
+// Log is a flight log, the input to the Attitude Estimate Divergence
+// analyzer the paper uses (DroneKit Log Analyzer) to show that virtual
+// drone workloads do not destabilize the drone.
+type Log struct {
+	mu      sync.Mutex
+	samples []Sample
+}
+
+// NewLog creates an empty flight log.
+func NewLog() *Log { return &Log{} }
+
+func (l *Log) add(s Sample) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.samples = append(l.samples, s)
+}
+
+func (l *Log) setTruth(roll, pitch, yaw float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return
+	}
+	s := &l.samples[len(l.samples)-1]
+	s.TrueRoll, s.TruePitch, s.TrueYaw = roll, pitch, yaw
+	s.HasTruth = true
+}
+
+// Samples returns a copy of the recorded samples.
+func (l *Log) Samples() []Sample {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Sample(nil), l.samples...)
+}
+
+// Len returns the number of samples.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// AEDResult is the Attitude Estimate Divergence verdict: the flight is
+// unstable if yaw, pitch, or roll diverges more than ThresholdDeg from the
+// canonical attitude for longer than ThresholdSec.
+type AEDResult struct {
+	MaxDivergenceDeg  float64
+	LongestExcursionS float64
+	Pass              bool
+}
+
+// AED analyzer thresholds (DroneKit Log Analyzer defaults cited in §6.2).
+const (
+	AEDThresholdDeg = 5.0
+	AEDThresholdSec = 0.5
+)
+
+// AnalyzeAED runs the Attitude Estimate Divergence analysis over the log.
+func AnalyzeAED(l *Log) AEDResult {
+	samples := l.Samples()
+	res := AEDResult{Pass: true}
+	excursionStart := -1.0
+	for _, s := range samples {
+		if !s.HasTruth {
+			continue
+		}
+		div := math.Max(angDiffDeg(s.EstRoll, s.TrueRoll),
+			math.Max(angDiffDeg(s.EstPitch, s.TruePitch), angDiffDeg(s.EstYaw, s.TrueYaw)))
+		if div > res.MaxDivergenceDeg {
+			res.MaxDivergenceDeg = div
+		}
+		if div > AEDThresholdDeg {
+			if excursionStart < 0 {
+				excursionStart = s.T
+			}
+			if dur := s.T - excursionStart; dur > res.LongestExcursionS {
+				res.LongestExcursionS = dur
+			}
+		} else {
+			excursionStart = -1
+		}
+	}
+	if res.LongestExcursionS > AEDThresholdSec {
+		res.Pass = false
+	}
+	return res
+}
+
+func angDiffDeg(a, b float64) float64 {
+	return math.Abs(wrapPi(a-b)) * 180 / math.Pi
+}

@@ -1,0 +1,92 @@
+package flight
+
+import (
+	"androne/internal/devices"
+	"androne/internal/geo"
+	"androne/internal/sitl"
+)
+
+// DirectSensors wraps device models directly, the configuration used when
+// the flight controller runs on dedicated hardware (or in tests). On
+// AnDrone's shared hardware the same interface is implemented by the HAL
+// bridge into the device container (see package core).
+type DirectSensors struct {
+	GPS  *devices.GPS
+	Imu  *devices.IMU
+	Baro *devices.Barometer
+	Mag  *devices.Magnetometer
+	Sim  *sitl.Sim
+}
+
+// Fix implements Sensors.
+func (d *DirectSensors) Fix() devices.Fix { return d.GPS.Read() }
+
+// IMU implements Sensors.
+func (d *DirectSensors) IMU() devices.IMUSample { return d.Imu.Read() }
+
+// Pressure implements Sensors.
+func (d *DirectSensors) Pressure() float64 { return d.Baro.Read() }
+
+// Heading implements Sensors.
+func (d *DirectSensors) Heading() float64 { return d.Mag.HeadingDeg() }
+
+// Battery implements Sensors.
+func (d *DirectSensors) Battery() (float64, float64) {
+	return d.Sim.BatteryRemaining(), d.Sim.BatteryVoltage()
+}
+
+// Vehicle couples a physics simulation with a flight controller and steps
+// them in lockstep at the fast-loop rate — the harness used by tests,
+// examples, and the §6.6 multi-waypoint experiment.
+type Vehicle struct {
+	Sim        *sitl.Sim
+	Controller *Controller
+}
+
+// NewVehicle builds a simulated vehicle at home with ideal sensors. opts are
+// passed through to the controller.
+func NewVehicle(home geo.Position, seed string, opts ...Option) *Vehicle {
+	return NewVehicleParams(home, sitl.DefaultParams(), seed, opts...)
+}
+
+// NewVehicleParams builds a simulated vehicle with explicit physics params.
+func NewVehicleParams(home geo.Position, params sitl.Params, seed string, opts ...Option) *Vehicle {
+	sim := sitl.New(home, params, seed)
+	sensors := &DirectSensors{
+		GPS:  devices.NewGPS("gps0", sim, 0),
+		Imu:  devices.NewIMU("imu0", sim, 0, 0),
+		Baro: devices.NewBarometer("baro0", sim, home.Alt, 0),
+		Mag:  devices.NewMagnetometer("mag0", sim),
+		Sim:  sim,
+	}
+	opts = append([]Option{WithHoverFraction(params.HoverThrustFrac())}, opts...)
+	ctl := NewController(sensors, sim, home, opts...)
+	return &Vehicle{Sim: sim, Controller: ctl}
+}
+
+// StepSeconds advances sim and controller together for the given sim time.
+func (v *Vehicle) StepSeconds(seconds float64) {
+	steps := int(seconds * FastLoopHz)
+	for i := 0; i < steps; i++ {
+		v.Sim.Step(FastLoopDT)
+		v.Controller.Step(FastLoopDT)
+		r, p, y := v.Sim.Attitude()
+		v.Controller.RecordTruth(r, p, y)
+	}
+}
+
+// RunUntil steps until cond returns true or the timeout (sim seconds)
+// elapses; it reports whether cond was met.
+func (v *Vehicle) RunUntil(cond func() bool, timeoutS float64) bool {
+	steps := int(timeoutS * FastLoopHz)
+	for i := 0; i < steps; i++ {
+		v.Sim.Step(FastLoopDT)
+		v.Controller.Step(FastLoopDT)
+		r, p, y := v.Sim.Attitude()
+		v.Controller.RecordTruth(r, p, y)
+		if i%40 == 0 && cond() { // check at 10 Hz
+			return true
+		}
+	}
+	return cond()
+}

@@ -1,0 +1,288 @@
+// Package gcs implements a ground control station: the remote side of
+// AnDrone's cellular control path. A Station frames MAVLink messages,
+// seals them in the per-container VPN tunnel, sends them through an
+// emulated link (cellular LTE by default), and collects acks and telemetry
+// the same way — reproducing the §6.5 experiment end to end in-system
+// rather than as bare link statistics, and standing in for the APM Planner
+// ground station of the paper's field tests.
+//
+// The drone side is any Endpoint: a mavproxy VFC (restricted) or master
+// connection (unrestricted), wrapped by EndpointFunc.
+package gcs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"androne/internal/mavlink"
+	"androne/internal/netem"
+)
+
+// Endpoint is the drone-side message handler (a VFC or master connection).
+type Endpoint interface {
+	// Send delivers one inbound message and returns immediate replies.
+	Send(msg mavlink.Message) []mavlink.Message
+	// Telemetry returns the current telemetry set.
+	Telemetry() []mavlink.Message
+}
+
+// EndpointFunc adapts a pair of functions to Endpoint.
+type EndpointFunc struct {
+	SendFn      func(mavlink.Message) []mavlink.Message
+	TelemetryFn func() []mavlink.Message
+}
+
+// Send implements Endpoint.
+func (e EndpointFunc) Send(m mavlink.Message) []mavlink.Message {
+	if e.SendFn == nil {
+		return nil
+	}
+	return e.SendFn(m)
+}
+
+// Telemetry implements Endpoint.
+func (e EndpointFunc) Telemetry() []mavlink.Message {
+	if e.TelemetryFn == nil {
+		return nil
+	}
+	return e.TelemetryFn()
+}
+
+// Errors.
+var (
+	ErrLost    = errors.New("gcs: packet lost")
+	ErrGarbled = errors.New("gcs: frame failed to decode")
+)
+
+// Stats accumulates round-trip command statistics, the §6.5 measurement.
+type Stats struct {
+	Sent     int
+	Lost     int
+	Acked    int
+	MeanMS   float64
+	StdMS    float64
+	MaxMS    float64
+	sumMS    float64
+	sumSqMS  float64
+	received int
+}
+
+func (s *Stats) record(rtt time.Duration) {
+	ms := float64(rtt) / float64(time.Millisecond)
+	s.received++
+	s.sumMS += ms
+	s.sumSqMS += ms * ms
+	if ms > s.MaxMS {
+		s.MaxMS = ms
+	}
+	s.MeanMS = s.sumMS / float64(s.received)
+	variance := s.sumSqMS/float64(s.received) - s.MeanMS*s.MeanMS
+	if variance > 0 {
+		s.StdMS = math.Sqrt(variance)
+	}
+}
+
+// Station is a ground control station bound to one drone endpoint over one
+// emulated link, with a per-container VPN tunnel in each direction.
+type Station struct {
+	endpoint Endpoint
+	uplink   *netem.Link
+	downlink *netem.Link
+	// Each direction has its own tunnel pair sharing the container key.
+	upSend, upRecv     *netem.Tunnel
+	downSend, downRecv *netem.Tunnel
+
+	mu    sync.Mutex
+	seq   uint8
+	clock time.Duration // virtual elapsed time
+	stats Stats
+}
+
+// New creates a station talking to endpoint over the given link profile.
+// key is the virtual drone's VPN key, shared with the drone side.
+func New(endpoint Endpoint, profile netem.Profile, key []byte, seed string) *Station {
+	return &Station{
+		endpoint: endpoint,
+		uplink:   netem.NewLink(profile, seed+"/up"),
+		downlink: netem.NewLink(profile, seed+"/down"),
+		upSend:   netem.NewTunnel(key),
+		upRecv:   netem.NewTunnel(key),
+		downSend: netem.NewTunnel(key),
+		downRecv: netem.NewTunnel(key),
+	}
+}
+
+// Stats returns a snapshot of the command statistics.
+func (s *Station) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Elapsed returns the virtual time consumed by link latency so far.
+func (s *Station) Elapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock
+}
+
+// Send transmits one message to the drone and returns the replies, paying
+// uplink and downlink latency on the virtual clock. Lost packets return
+// ErrLost (MAVLink commands are fire-and-forget; retry is the caller's
+// choice, as in real GCS software).
+func (s *Station) Send(msg mavlink.Message) ([]mavlink.Message, time.Duration, error) {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	s.stats.Sent++
+	s.mu.Unlock()
+
+	raw, err := mavlink.Encode(seq, mavlink.SysIDGroundStation, 1, msg)
+	if err != nil {
+		return nil, 0, err
+	}
+	sealed := s.upSend.Seal(raw)
+
+	upDelay, lost := s.uplink.Sample()
+	if lost {
+		s.mu.Lock()
+		s.stats.Lost++
+		s.clock += upDelay
+		s.mu.Unlock()
+		return nil, 0, ErrLost
+	}
+
+	// Drone side: open the tunnel, decode, dispatch.
+	plain, err := s.upRecv.Open(sealed)
+	if err != nil {
+		return nil, 0, fmt.Errorf("gcs: uplink tunnel: %w", err)
+	}
+	frame, err := mavlink.Decode(plain)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrGarbled, err)
+	}
+	replies := s.endpoint.Send(frame.Message)
+
+	// Replies come back down the link, each sealed.
+	downDelay, lostDown := s.downlink.Sample()
+	rtt := upDelay + downDelay
+	s.mu.Lock()
+	s.clock += rtt
+	s.mu.Unlock()
+	if lostDown {
+		s.mu.Lock()
+		s.stats.Lost++
+		s.mu.Unlock()
+		return nil, rtt, ErrLost
+	}
+
+	out := make([]mavlink.Message, 0, len(replies))
+	for i, r := range replies {
+		rraw, err := mavlink.Encode(uint8(i), mavlink.SysIDAutopilot, 1, r)
+		if err != nil {
+			return nil, rtt, err
+		}
+		rplain, err := s.downRecv.Open(s.downSend.Seal(rraw))
+		if err != nil {
+			return nil, rtt, fmt.Errorf("gcs: downlink tunnel: %w", err)
+		}
+		rframe, err := mavlink.Decode(rplain)
+		if err != nil {
+			return nil, rtt, fmt.Errorf("%w: %v", ErrGarbled, err)
+		}
+		out = append(out, rframe.Message)
+		if _, ok := rframe.Message.(*mavlink.CommandAck); ok {
+			s.mu.Lock()
+			s.stats.Acked++
+			s.mu.Unlock()
+		}
+	}
+	s.mu.Lock()
+	s.stats.record(rtt)
+	s.mu.Unlock()
+	return out, rtt, nil
+}
+
+// Command sends a COMMAND_LONG and returns its ack result, retrying lost
+// packets up to retries times (MAVLink's confirmation field counts up on
+// each retransmission, as the spec prescribes).
+func (s *Station) Command(cmd *mavlink.CommandLong, retries int) (uint8, error) {
+	for attempt := 0; ; attempt++ {
+		c := *cmd
+		c.Confirmation = uint8(attempt)
+		replies, _, err := s.Send(&c)
+		if errors.Is(err, ErrLost) {
+			if attempt < retries {
+				continue
+			}
+			return 0, err
+		}
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range replies {
+			if ack, ok := r.(*mavlink.CommandAck); ok && ack.Command == cmd.Command {
+				return ack.Result, nil
+			}
+		}
+		return 0, fmt.Errorf("gcs: no ack for command %d", cmd.Command)
+	}
+}
+
+// FetchTelemetry pulls one telemetry set down the link (each message sealed
+// and framed), returning whatever survived loss.
+func (s *Station) FetchTelemetry() ([]mavlink.Message, error) {
+	msgs := s.endpoint.Telemetry()
+	var out []mavlink.Message
+	for i, m := range msgs {
+		delay, lost := s.downlink.Sample()
+		s.mu.Lock()
+		s.clock += delay
+		s.mu.Unlock()
+		if lost {
+			continue
+		}
+		raw, err := mavlink.Encode(uint8(i), mavlink.SysIDAutopilot, 1, m)
+		if err != nil {
+			return out, err
+		}
+		plain, err := s.downRecv.Open(s.downSend.Seal(raw))
+		if err != nil {
+			return out, fmt.Errorf("gcs: telemetry tunnel: %w", err)
+		}
+		frame, err := mavlink.Decode(plain)
+		if err != nil {
+			return out, fmt.Errorf("%w: %v", ErrGarbled, err)
+		}
+		out = append(out, frame.Message)
+	}
+	return out, nil
+}
+
+// Position extracts the drone's position from a telemetry fetch, if present.
+func (s *Station) Position() (*mavlink.GlobalPositionInt, error) {
+	msgs, err := s.FetchTelemetry()
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range msgs {
+		if gp, ok := m.(*mavlink.GlobalPositionInt); ok {
+			return gp, nil
+		}
+	}
+	return nil, errors.New("gcs: no position in telemetry")
+}
+
+// MeasureCommandLatency replays the §6.5 experiment through the full stack:
+// n commands (a benign CONDITION_YAW, as the paper's testbed used commands
+// that could not succeed) through tunnel, link, MAVLink decode, and the
+// endpoint, collecting round-trip statistics.
+func (s *Station) MeasureCommandLatency(n int) Stats {
+	for i := 0; i < n; i++ {
+		_, _, _ = s.Send(&mavlink.CommandLong{Command: mavlink.CmdConditionYaw, Param1: float32(i % 360)})
+	}
+	return s.Stats()
+}

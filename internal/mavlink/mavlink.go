@@ -1,0 +1,678 @@
+// Package mavlink implements the Micro Air Vehicle Link protocol framing
+// and the message subset AnDrone uses: heartbeats, telemetry (attitude,
+// global position, system status), commands (COMMAND_LONG and acks), guided
+// position targets, mode changes, and status text. Framing follows MAVLink
+// v1: a magic byte, length, sequence, system and component ids, message id,
+// payload, and an X.25 CRC-16 seeded with a per-message CRC_EXTRA byte so
+// incompatible dialects fail the checksum.
+//
+// The flight controller, MAVProxy, the virtual flight controllers, the
+// cloud flight planner, and ground stations all speak this package.
+package mavlink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Magic is the MAVLink v1 frame start marker.
+const Magic = 0xFE
+
+// maxPayload is the MAVLink v1 payload limit.
+const maxPayload = 255
+
+// Well-known system/component ids.
+const (
+	SysIDAutopilot     = 1
+	CompIDAutopilot    = 1
+	SysIDGroundStation = 255
+)
+
+// Message ids (MAVLink common dialect).
+const (
+	MsgIDHeartbeat               = 0
+	MsgIDSysStatus               = 1
+	MsgIDSetMode                 = 11
+	MsgIDAttitude                = 30
+	MsgIDGlobalPositionInt       = 33
+	MsgIDCommandLong             = 76
+	MsgIDCommandAck              = 77
+	MsgIDSetPositionTargetGlobal = 86
+	MsgIDStatusText              = 253
+)
+
+// crcExtra is the per-message CRC seed byte from the MAVLink common dialect.
+var crcExtra = map[uint8]uint8{
+	MsgIDHeartbeat:               50,
+	MsgIDSysStatus:               124,
+	MsgIDSetMode:                 89,
+	MsgIDAttitude:                39,
+	MsgIDGlobalPositionInt:       104,
+	MsgIDCommandLong:             152,
+	MsgIDCommandAck:              143,
+	MsgIDSetPositionTargetGlobal: 5,
+	MsgIDStatusText:              83,
+}
+
+// MAV_CMD command numbers.
+const (
+	CmdNavWaypoint        = 16
+	CmdNavReturnToLaunch  = 20
+	CmdNavLand            = 21
+	CmdNavTakeoff         = 22
+	CmdNavLoiterUnlim     = 17
+	CmdConditionYaw       = 115
+	CmdDoSetMode          = 176
+	CmdDoChangeSpeed      = 178
+	CmdComponentArmDisarm = 400
+)
+
+// MAV_RESULT command ack results.
+const (
+	ResultAccepted            = 0
+	ResultTemporarilyRejected = 1
+	ResultDenied              = 2
+	ResultUnsupported         = 3
+	ResultFailed              = 4
+)
+
+// ArduPilot Copter flight mode numbers (custom_mode in heartbeats).
+const (
+	ModeStabilize = 0
+	ModeAltHold   = 2
+	ModeAuto      = 3
+	ModeGuided    = 4
+	ModeLoiter    = 5
+	ModeRTL       = 6
+	ModeLand      = 9
+)
+
+// ModeName returns a human-readable flight mode name.
+func ModeName(mode uint32) string {
+	switch mode {
+	case ModeStabilize:
+		return "STABILIZE"
+	case ModeAltHold:
+		return "ALT_HOLD"
+	case ModeAuto:
+		return "AUTO"
+	case ModeGuided:
+		return "GUIDED"
+	case ModeLoiter:
+		return "LOITER"
+	case ModeRTL:
+		return "RTL"
+	case ModeLand:
+		return "LAND"
+	}
+	return fmt.Sprintf("MODE(%d)", mode)
+}
+
+// MAV_MODE_FLAG bits.
+const (
+	ModeFlagSafetyArmed       = 1 << 7
+	ModeFlagCustomModeEnabled = 1 << 0
+)
+
+// STATUSTEXT severities (subset).
+const (
+	SeverityCritical = 2
+	SeverityWarning  = 4
+	SeverityInfo     = 6
+)
+
+// Message is a MAVLink message body.
+type Message interface {
+	// ID returns the MAVLink message id.
+	ID() uint8
+	// MarshalPayload encodes the payload in wire order.
+	MarshalPayload() []byte
+	// UnmarshalPayload decodes a wire payload.
+	UnmarshalPayload(b []byte) error
+}
+
+// Frame is a decoded MAVLink frame.
+type Frame struct {
+	Seq     uint8
+	SysID   uint8
+	CompID  uint8
+	Message Message
+}
+
+// Errors.
+var (
+	ErrBadCRC     = errors.New("mavlink: bad checksum")
+	ErrShortFrame = errors.New("mavlink: truncated frame")
+	ErrUnknownMsg = errors.New("mavlink: unknown message id")
+)
+
+// x25 computes the MAVLink CRC-16/X.25 over data, continuing from crc.
+func x25(crc uint16, data []byte) uint16 {
+	for _, b := range data {
+		tmp := b ^ byte(crc&0xFF)
+		tmp ^= tmp << 4
+		crc = (crc >> 8) ^ (uint16(tmp) << 8) ^ (uint16(tmp) << 3) ^ (uint16(tmp) >> 4)
+	}
+	return crc
+}
+
+// Encode serializes a message into a wire frame.
+func Encode(seq, sysID, compID uint8, msg Message) ([]byte, error) {
+	payload := msg.MarshalPayload()
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("mavlink: payload %d exceeds %d", len(payload), maxPayload)
+	}
+	extra, ok := crcExtra[msg.ID()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMsg, msg.ID())
+	}
+	frame := make([]byte, 0, 8+len(payload))
+	frame = append(frame, Magic, uint8(len(payload)), seq, sysID, compID, msg.ID())
+	frame = append(frame, payload...)
+	crc := x25(0xFFFF, frame[1:]) // magic excluded
+	crc = x25(crc, []byte{extra})
+	frame = binary.LittleEndian.AppendUint16(frame, crc)
+	return frame, nil
+}
+
+// Decoder is a resynchronizing streaming MAVLink parser.
+type Decoder struct {
+	buf []byte
+}
+
+// Write appends raw bytes to the decoder.
+func (d *Decoder) Write(b []byte) {
+	d.buf = append(d.buf, b...)
+}
+
+// Next extracts the next complete valid frame, skipping garbage. It returns
+// nil when no complete frame is buffered. Frames with bad checksums or
+// unknown ids are dropped and scanning continues.
+func (d *Decoder) Next() *Frame {
+	for {
+		// Find magic.
+		start := -1
+		for i, b := range d.buf {
+			if b == Magic {
+				start = i
+				break
+			}
+		}
+		if start < 0 {
+			d.buf = d.buf[:0]
+			return nil
+		}
+		d.buf = d.buf[start:]
+		if len(d.buf) < 8 {
+			return nil // header incomplete
+		}
+		plen := int(d.buf[1])
+		total := 8 + plen
+		if len(d.buf) < total {
+			return nil
+		}
+		raw := d.buf[:total]
+		frame, err := decodeFrame(raw)
+		if err != nil {
+			// Drop the magic byte and resync.
+			d.buf = d.buf[1:]
+			continue
+		}
+		d.buf = append(d.buf[:0], d.buf[total:]...)
+		return frame
+	}
+}
+
+// Decode parses a single exact frame.
+func Decode(raw []byte) (*Frame, error) {
+	if len(raw) < 8 {
+		return nil, ErrShortFrame
+	}
+	if int(raw[1])+8 != len(raw) {
+		return nil, ErrShortFrame
+	}
+	return decodeFrame(raw)
+}
+
+func decodeFrame(raw []byte) (*Frame, error) {
+	if raw[0] != Magic {
+		return nil, errors.New("mavlink: bad magic")
+	}
+	plen := int(raw[1])
+	msgID := raw[5]
+	extra, ok := crcExtra[msgID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMsg, msgID)
+	}
+	body := raw[1 : 6+plen]
+	crc := x25(0xFFFF, body)
+	crc = x25(crc, []byte{extra})
+	got := binary.LittleEndian.Uint16(raw[6+plen:])
+	if crc != got {
+		return nil, ErrBadCRC
+	}
+	msg := newMessage(msgID)
+	if msg == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMsg, msgID)
+	}
+	if err := msg.UnmarshalPayload(raw[6 : 6+plen]); err != nil {
+		return nil, err
+	}
+	return &Frame{Seq: raw[2], SysID: raw[3], CompID: raw[4], Message: msg}, nil
+}
+
+func newMessage(id uint8) Message {
+	switch id {
+	case MsgIDHeartbeat:
+		return &Heartbeat{}
+	case MsgIDSysStatus:
+		return &SysStatus{}
+	case MsgIDSetMode:
+		return &SetMode{}
+	case MsgIDAttitude:
+		return &Attitude{}
+	case MsgIDGlobalPositionInt:
+		return &GlobalPositionInt{}
+	case MsgIDCommandLong:
+		return &CommandLong{}
+	case MsgIDCommandAck:
+		return &CommandAck{}
+	case MsgIDSetPositionTargetGlobal:
+		return &SetPositionTargetGlobalInt{}
+	case MsgIDStatusText:
+		return &StatusText{}
+	case MsgIDMissionCount:
+		return &MissionCount{}
+	case MsgIDMissionClearAll:
+		return &MissionClearAll{}
+	case MsgIDMissionAck:
+		return &MissionAck{}
+	case MsgIDMissionRequestInt:
+		return &MissionRequestInt{}
+	case MsgIDMissionItemInt:
+		return &MissionItemInt{}
+	case MsgIDParamRequestRead:
+		return &ParamRequestRead{}
+	case MsgIDParamRequestList:
+		return &ParamRequestList{}
+	case MsgIDParamValue:
+		return &ParamValue{}
+	case MsgIDParamSet:
+		return &ParamSet{}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Messages. Payload layouts follow MAVLink wire order (fields sorted by
+// size, descending, then declaration order).
+
+// Heartbeat announces presence, type, and flight mode.
+type Heartbeat struct {
+	CustomMode     uint32 // flight mode
+	Type           uint8  // MAV_TYPE (2 = quadrotor)
+	Autopilot      uint8  // MAV_AUTOPILOT (3 = ArduPilot)
+	BaseMode       uint8  // MAV_MODE_FLAG bits
+	SystemStatus   uint8  // MAV_STATE
+	MavlinkVersion uint8
+}
+
+// ID implements Message.
+func (*Heartbeat) ID() uint8 { return MsgIDHeartbeat }
+
+// Armed reports the SAFETY_ARMED base-mode bit.
+func (h *Heartbeat) Armed() bool { return h.BaseMode&ModeFlagSafetyArmed != 0 }
+
+// MarshalPayload implements Message.
+func (h *Heartbeat) MarshalPayload() []byte {
+	b := make([]byte, 9)
+	binary.LittleEndian.PutUint32(b[0:], h.CustomMode)
+	b[4] = h.Type
+	b[5] = h.Autopilot
+	b[6] = h.BaseMode
+	b[7] = h.SystemStatus
+	b[8] = h.MavlinkVersion
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (h *Heartbeat) UnmarshalPayload(b []byte) error {
+	if len(b) < 9 {
+		return ErrShortFrame
+	}
+	h.CustomMode = binary.LittleEndian.Uint32(b[0:])
+	h.Type = b[4]
+	h.Autopilot = b[5]
+	h.BaseMode = b[6]
+	h.SystemStatus = b[7]
+	h.MavlinkVersion = b[8]
+	return nil
+}
+
+// SysStatus carries battery and load telemetry.
+type SysStatus struct {
+	VoltageBatteryMV uint16 // mV
+	CurrentBatterycA int16  // cA (10 mA)
+	Load             uint16 // 0..1000
+	BatteryRemaining int8   // percent, -1 unknown
+}
+
+// ID implements Message.
+func (*SysStatus) ID() uint8 { return MsgIDSysStatus }
+
+// MarshalPayload implements Message.
+func (s *SysStatus) MarshalPayload() []byte {
+	b := make([]byte, 7)
+	binary.LittleEndian.PutUint16(b[0:], s.VoltageBatteryMV)
+	binary.LittleEndian.PutUint16(b[2:], uint16(s.CurrentBatterycA))
+	binary.LittleEndian.PutUint16(b[4:], s.Load)
+	b[6] = uint8(s.BatteryRemaining)
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (s *SysStatus) UnmarshalPayload(b []byte) error {
+	if len(b) < 7 {
+		return ErrShortFrame
+	}
+	s.VoltageBatteryMV = binary.LittleEndian.Uint16(b[0:])
+	s.CurrentBatterycA = int16(binary.LittleEndian.Uint16(b[2:]))
+	s.Load = binary.LittleEndian.Uint16(b[4:])
+	s.BatteryRemaining = int8(b[6])
+	return nil
+}
+
+// SetMode requests a flight mode change.
+type SetMode struct {
+	CustomMode   uint32
+	TargetSystem uint8
+	BaseMode     uint8
+}
+
+// ID implements Message.
+func (*SetMode) ID() uint8 { return MsgIDSetMode }
+
+// MarshalPayload implements Message.
+func (m *SetMode) MarshalPayload() []byte {
+	b := make([]byte, 6)
+	binary.LittleEndian.PutUint32(b[0:], m.CustomMode)
+	b[4] = m.TargetSystem
+	b[5] = m.BaseMode
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (m *SetMode) UnmarshalPayload(b []byte) error {
+	if len(b) < 6 {
+		return ErrShortFrame
+	}
+	m.CustomMode = binary.LittleEndian.Uint32(b[0:])
+	m.TargetSystem = b[4]
+	m.BaseMode = b[5]
+	return nil
+}
+
+// Attitude is roll/pitch/yaw telemetry in radians.
+type Attitude struct {
+	TimeBootMs uint32
+	Roll       float32
+	Pitch      float32
+	Yaw        float32
+	RollSpeed  float32
+	PitchSpeed float32
+	YawSpeed   float32
+}
+
+// ID implements Message.
+func (*Attitude) ID() uint8 { return MsgIDAttitude }
+
+// MarshalPayload implements Message.
+func (a *Attitude) MarshalPayload() []byte {
+	b := make([]byte, 28)
+	binary.LittleEndian.PutUint32(b[0:], a.TimeBootMs)
+	putF32(b[4:], a.Roll)
+	putF32(b[8:], a.Pitch)
+	putF32(b[12:], a.Yaw)
+	putF32(b[16:], a.RollSpeed)
+	putF32(b[20:], a.PitchSpeed)
+	putF32(b[24:], a.YawSpeed)
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (a *Attitude) UnmarshalPayload(b []byte) error {
+	if len(b) < 28 {
+		return ErrShortFrame
+	}
+	a.TimeBootMs = binary.LittleEndian.Uint32(b[0:])
+	a.Roll = getF32(b[4:])
+	a.Pitch = getF32(b[8:])
+	a.Yaw = getF32(b[12:])
+	a.RollSpeed = getF32(b[16:])
+	a.PitchSpeed = getF32(b[20:])
+	a.YawSpeed = getF32(b[24:])
+	return nil
+}
+
+// GlobalPositionInt is the fused global position estimate. Lat/Lon are
+// degrees * 1e7; altitudes are millimeters; velocities cm/s; heading cdeg.
+type GlobalPositionInt struct {
+	TimeBootMs    uint32
+	LatE7         int32
+	LonE7         int32
+	AltMM         int32 // MSL
+	RelativeAltMM int32 // above home
+	Vx            int16 // cm/s north
+	Vy            int16 // cm/s east
+	Vz            int16 // cm/s down
+	HdgCdeg       uint16
+}
+
+// ID implements Message.
+func (*GlobalPositionInt) ID() uint8 { return MsgIDGlobalPositionInt }
+
+// MarshalPayload implements Message.
+func (g *GlobalPositionInt) MarshalPayload() []byte {
+	b := make([]byte, 28)
+	binary.LittleEndian.PutUint32(b[0:], g.TimeBootMs)
+	binary.LittleEndian.PutUint32(b[4:], uint32(g.LatE7))
+	binary.LittleEndian.PutUint32(b[8:], uint32(g.LonE7))
+	binary.LittleEndian.PutUint32(b[12:], uint32(g.AltMM))
+	binary.LittleEndian.PutUint32(b[16:], uint32(g.RelativeAltMM))
+	binary.LittleEndian.PutUint16(b[20:], uint16(g.Vx))
+	binary.LittleEndian.PutUint16(b[22:], uint16(g.Vy))
+	binary.LittleEndian.PutUint16(b[24:], uint16(g.Vz))
+	binary.LittleEndian.PutUint16(b[26:], g.HdgCdeg)
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (g *GlobalPositionInt) UnmarshalPayload(b []byte) error {
+	if len(b) < 28 {
+		return ErrShortFrame
+	}
+	g.TimeBootMs = binary.LittleEndian.Uint32(b[0:])
+	g.LatE7 = int32(binary.LittleEndian.Uint32(b[4:]))
+	g.LonE7 = int32(binary.LittleEndian.Uint32(b[8:]))
+	g.AltMM = int32(binary.LittleEndian.Uint32(b[12:]))
+	g.RelativeAltMM = int32(binary.LittleEndian.Uint32(b[16:]))
+	g.Vx = int16(binary.LittleEndian.Uint16(b[20:]))
+	g.Vy = int16(binary.LittleEndian.Uint16(b[22:]))
+	g.Vz = int16(binary.LittleEndian.Uint16(b[24:]))
+	g.HdgCdeg = binary.LittleEndian.Uint16(b[26:])
+	return nil
+}
+
+// CommandLong is the general command carrier.
+type CommandLong struct {
+	Param1, Param2, Param3, Param4 float32
+	Param5, Param6, Param7         float32
+	Command                        uint16
+	TargetSystem                   uint8
+	TargetComponent                uint8
+	Confirmation                   uint8
+}
+
+// ID implements Message.
+func (*CommandLong) ID() uint8 { return MsgIDCommandLong }
+
+// MarshalPayload implements Message.
+func (c *CommandLong) MarshalPayload() []byte {
+	b := make([]byte, 33)
+	for i, p := range []float32{c.Param1, c.Param2, c.Param3, c.Param4, c.Param5, c.Param6, c.Param7} {
+		putF32(b[i*4:], p)
+	}
+	binary.LittleEndian.PutUint16(b[28:], c.Command)
+	b[30] = c.TargetSystem
+	b[31] = c.TargetComponent
+	b[32] = c.Confirmation
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (c *CommandLong) UnmarshalPayload(b []byte) error {
+	if len(b) < 33 {
+		return ErrShortFrame
+	}
+	params := []*float32{&c.Param1, &c.Param2, &c.Param3, &c.Param4, &c.Param5, &c.Param6, &c.Param7}
+	for i, p := range params {
+		*p = getF32(b[i*4:])
+	}
+	c.Command = binary.LittleEndian.Uint16(b[28:])
+	c.TargetSystem = b[30]
+	c.TargetComponent = b[31]
+	c.Confirmation = b[32]
+	return nil
+}
+
+// CommandAck reports command acceptance or rejection.
+type CommandAck struct {
+	Command uint16
+	Result  uint8
+}
+
+// ID implements Message.
+func (*CommandAck) ID() uint8 { return MsgIDCommandAck }
+
+// MarshalPayload implements Message.
+func (c *CommandAck) MarshalPayload() []byte {
+	b := make([]byte, 3)
+	binary.LittleEndian.PutUint16(b[0:], c.Command)
+	b[2] = c.Result
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (c *CommandAck) UnmarshalPayload(b []byte) error {
+	if len(b) < 3 {
+		return ErrShortFrame
+	}
+	c.Command = binary.LittleEndian.Uint16(b[0:])
+	c.Result = b[2]
+	return nil
+}
+
+// SetPositionTargetGlobalInt is the guided-mode position/velocity target.
+type SetPositionTargetGlobalInt struct {
+	TimeBootMs      uint32
+	LatE7           int32
+	LonE7           int32
+	Alt             float32 // meters, relative to home in our usage
+	Vx, Vy, Vz      float32 // m/s
+	TypeMask        uint16
+	TargetSystem    uint8
+	TargetComponent uint8
+	CoordinateFrame uint8
+}
+
+// ID implements Message.
+func (*SetPositionTargetGlobalInt) ID() uint8 { return MsgIDSetPositionTargetGlobal }
+
+// MarshalPayload implements Message.
+func (s *SetPositionTargetGlobalInt) MarshalPayload() []byte {
+	b := make([]byte, 33)
+	binary.LittleEndian.PutUint32(b[0:], s.TimeBootMs)
+	binary.LittleEndian.PutUint32(b[4:], uint32(s.LatE7))
+	binary.LittleEndian.PutUint32(b[8:], uint32(s.LonE7))
+	putF32(b[12:], s.Alt)
+	putF32(b[16:], s.Vx)
+	putF32(b[20:], s.Vy)
+	putF32(b[24:], s.Vz)
+	binary.LittleEndian.PutUint16(b[28:], s.TypeMask)
+	b[30] = s.TargetSystem
+	b[31] = s.TargetComponent
+	b[32] = s.CoordinateFrame
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (s *SetPositionTargetGlobalInt) UnmarshalPayload(b []byte) error {
+	if len(b) < 33 {
+		return ErrShortFrame
+	}
+	s.TimeBootMs = binary.LittleEndian.Uint32(b[0:])
+	s.LatE7 = int32(binary.LittleEndian.Uint32(b[4:]))
+	s.LonE7 = int32(binary.LittleEndian.Uint32(b[8:]))
+	s.Alt = getF32(b[12:])
+	s.Vx = getF32(b[16:])
+	s.Vy = getF32(b[20:])
+	s.Vz = getF32(b[24:])
+	s.TypeMask = binary.LittleEndian.Uint16(b[28:])
+	s.TargetSystem = b[30]
+	s.TargetComponent = b[31]
+	s.CoordinateFrame = b[32]
+	return nil
+}
+
+// StatusText is a severity-tagged text notification (50 chars max).
+type StatusText struct {
+	Severity uint8
+	Text     string
+}
+
+// ID implements Message.
+func (*StatusText) ID() uint8 { return MsgIDStatusText }
+
+// MarshalPayload implements Message.
+func (s *StatusText) MarshalPayload() []byte {
+	b := make([]byte, 51)
+	b[0] = s.Severity
+	copy(b[1:], s.Text)
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (s *StatusText) UnmarshalPayload(b []byte) error {
+	if len(b) < 2 {
+		return ErrShortFrame
+	}
+	s.Severity = b[0]
+	text := b[1:]
+	for i, c := range text {
+		if c == 0 {
+			text = text[:i]
+			break
+		}
+	}
+	s.Text = string(text)
+	return nil
+}
+
+func putF32(b []byte, f float32) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(f))
+}
+
+func getF32(b []byte) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b))
+}
+
+// ---------------------------------------------------------------------------
+// Unit helpers
+
+// LatLonToE7 converts degrees to the int32 1e7 fixed-point wire unit.
+func LatLonToE7(deg float64) int32 { return int32(math.Round(deg * 1e7)) }
+
+// E7ToLatLon converts the wire unit back to degrees.
+func E7ToLatLon(e7 int32) float64 { return float64(e7) / 1e7 }

@@ -1,0 +1,356 @@
+package mavlink
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	raw, err := Encode(7, SysIDAutopilot, CompIDAutopilot, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if frame.Seq != 7 || frame.SysID != SysIDAutopilot || frame.CompID != CompIDAutopilot {
+		t.Fatalf("header = %+v", frame)
+	}
+	if frame.Message.ID() != msg.ID() {
+		t.Fatalf("id = %d, want %d", frame.Message.ID(), msg.ID())
+	}
+	return frame.Message
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	in := &Heartbeat{CustomMode: ModeGuided, Type: 2, Autopilot: 3,
+		BaseMode: ModeFlagSafetyArmed | ModeFlagCustomModeEnabled, SystemStatus: 4, MavlinkVersion: 3}
+	out := roundTrip(t, in).(*Heartbeat)
+	if *out != *in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	if !out.Armed() {
+		t.Fatal("armed bit lost")
+	}
+}
+
+func TestSysStatusRoundTrip(t *testing.T) {
+	in := &SysStatus{VoltageBatteryMV: 11100, CurrentBatterycA: -250, Load: 450, BatteryRemaining: 87}
+	out := roundTrip(t, in).(*SysStatus)
+	if *out != *in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestSetModeRoundTrip(t *testing.T) {
+	in := &SetMode{CustomMode: ModeLoiter, TargetSystem: 1, BaseMode: ModeFlagCustomModeEnabled}
+	out := roundTrip(t, in).(*SetMode)
+	if *out != *in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestAttitudeRoundTrip(t *testing.T) {
+	in := &Attitude{TimeBootMs: 123456, Roll: 0.01, Pitch: -0.02, Yaw: 1.57, RollSpeed: 0.1, PitchSpeed: -0.1, YawSpeed: 0.5}
+	out := roundTrip(t, in).(*Attitude)
+	if *out != *in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestGlobalPositionIntRoundTrip(t *testing.T) {
+	in := &GlobalPositionInt{TimeBootMs: 9999, LatE7: 436084298, LonE7: -858110359,
+		AltMM: 265000, RelativeAltMM: 15000, Vx: 120, Vy: -30, Vz: 5, HdgCdeg: 27000}
+	out := roundTrip(t, in).(*GlobalPositionInt)
+	if *out != *in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestCommandLongRoundTrip(t *testing.T) {
+	in := &CommandLong{Param1: 1, Param4: -90, Param7: 15.5, Command: CmdNavTakeoff,
+		TargetSystem: 1, TargetComponent: 1, Confirmation: 0}
+	out := roundTrip(t, in).(*CommandLong)
+	if *out != *in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestCommandAckRoundTrip(t *testing.T) {
+	in := &CommandAck{Command: CmdComponentArmDisarm, Result: ResultDenied}
+	out := roundTrip(t, in).(*CommandAck)
+	if *out != *in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestSetPositionTargetRoundTrip(t *testing.T) {
+	in := &SetPositionTargetGlobalInt{TimeBootMs: 5, LatE7: 436076409, LonE7: -858154457,
+		Alt: 15, Vx: 2.5, TypeMask: 0x0FF8, TargetSystem: 1, TargetComponent: 1, CoordinateFrame: 6}
+	out := roundTrip(t, in).(*SetPositionTargetGlobalInt)
+	if *out != *in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestStatusTextRoundTrip(t *testing.T) {
+	in := &StatusText{Severity: SeverityWarning, Text: "geofence breached"}
+	out := roundTrip(t, in).(*StatusText)
+	if out.Severity != in.Severity || out.Text != in.Text {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	// Max-length text survives.
+	long := &StatusText{Severity: SeverityInfo, Text: string(bytes.Repeat([]byte("x"), 50))}
+	out = roundTrip(t, long).(*StatusText)
+	if out.Text != long.Text {
+		t.Fatalf("long text = %q", out.Text)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	raw, err := Encode(0, 1, 1, &Heartbeat{CustomMode: ModeGuided})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(raw); i++ {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0xA5
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, err := Decode([]byte{Magic, 3}); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecoderStream(t *testing.T) {
+	var stream []byte
+	msgs := []Message{
+		&Heartbeat{CustomMode: ModeLoiter},
+		&Attitude{Yaw: 3.14},
+		&CommandAck{Command: CmdNavLand, Result: ResultAccepted},
+	}
+	for i, m := range msgs {
+		raw, err := Encode(uint8(i), 1, 1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, raw...)
+	}
+
+	var d Decoder
+	// Feed one byte at a time to exercise partial-frame handling.
+	var got []*Frame
+	for _, b := range stream {
+		d.Write([]byte{b})
+		for {
+			f := d.Next()
+			if f == nil {
+				break
+			}
+			got = append(got, f)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d frames, want 3", len(got))
+	}
+	for i, f := range got {
+		if f.Seq != uint8(i) {
+			t.Fatalf("frame %d seq = %d", i, f.Seq)
+		}
+		if f.Message.ID() != msgs[i].ID() {
+			t.Fatalf("frame %d id = %d, want %d", i, f.Message.ID(), msgs[i].ID())
+		}
+	}
+}
+
+func TestDecoderResyncAfterGarbage(t *testing.T) {
+	good, _ := Encode(1, 1, 1, &Heartbeat{CustomMode: ModeRTL})
+	var d Decoder
+	// Garbage including a false magic whose bogus 2-byte "payload" completes
+	// once the real frame arrives, fails CRC, and forces a resync.
+	d.Write([]byte{0x00, 0x55, Magic, 0x02})
+	d.Write(good)
+	var frames []*Frame
+	for {
+		f := d.Next()
+		if f == nil {
+			break
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(frames))
+	}
+	hb := frames[0].Message.(*Heartbeat)
+	if hb.CustomMode != ModeRTL {
+		t.Fatalf("mode = %d", hb.CustomMode)
+	}
+}
+
+func TestDecoderDropsCorruptAndContinues(t *testing.T) {
+	bad, _ := Encode(1, 1, 1, &Heartbeat{})
+	bad[7] ^= 0xFF // corrupt payload
+	good, _ := Encode(2, 1, 1, &CommandAck{Command: CmdNavTakeoff, Result: ResultAccepted})
+	var d Decoder
+	d.Write(bad)
+	d.Write(good)
+	var frames []*Frame
+	for {
+		f := d.Next()
+		if f == nil {
+			break
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(frames))
+	}
+	if frames[0].Message.ID() != MsgIDCommandAck {
+		t.Fatalf("got id %d", frames[0].Message.ID())
+	}
+}
+
+func TestEncodeUnknownMessage(t *testing.T) {
+	if _, err := Encode(0, 1, 1, bogusMsg{}); !errors.Is(err, ErrUnknownMsg) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type bogusMsg struct{}
+
+func (bogusMsg) ID() uint8                     { return 200 }
+func (bogusMsg) MarshalPayload() []byte        { return nil }
+func (bogusMsg) UnmarshalPayload([]byte) error { return nil }
+
+func TestLatLonE7RoundTrip(t *testing.T) {
+	if err := quick.Check(func(raw float64) bool {
+		deg := math.Mod(raw, 180)
+		if math.IsNaN(deg) {
+			deg = 0
+		}
+		back := E7ToLatLon(LatLonToE7(deg))
+		return math.Abs(back-deg) < 1e-7+1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandLongPropertyRoundTrip(t *testing.T) {
+	if err := quick.Check(func(p1, p7 float32, cmd uint16, sys, comp, conf uint8) bool {
+		if math.IsNaN(float64(p1)) || math.IsNaN(float64(p7)) {
+			return true
+		}
+		in := &CommandLong{Param1: p1, Param7: p7, Command: cmd,
+			TargetSystem: sys, TargetComponent: comp, Confirmation: conf}
+		raw, err := Encode(0, 1, 1, in)
+		if err != nil {
+			return false
+		}
+		f, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		out := f.Message.(*CommandLong)
+		return *out == *in
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestX25KnownVector(t *testing.T) {
+	// CRC-16/MCRF4XX of "123456789" is 0x6F91.
+	if got := x25(0xFFFF, []byte("123456789")); got != 0x6F91 {
+		t.Fatalf("x25 = %#04x, want 0x6f91", got)
+	}
+}
+
+func TestModeName(t *testing.T) {
+	cases := map[uint32]string{
+		ModeStabilize: "STABILIZE", ModeGuided: "GUIDED", ModeLoiter: "LOITER",
+		ModeRTL: "RTL", ModeLand: "LAND", ModeAuto: "AUTO", ModeAltHold: "ALT_HOLD",
+		99: "MODE(99)",
+	}
+	for mode, want := range cases {
+		if got := ModeName(mode); got != want {
+			t.Errorf("ModeName(%d) = %q, want %q", mode, got, want)
+		}
+	}
+}
+
+func TestMissionMessagesRoundTrip(t *testing.T) {
+	msgs := []Message{
+		&MissionCount{Count: 12, TargetSystem: 1, TargetComponent: 1},
+		&MissionClearAll{TargetSystem: 1, TargetComponent: 1},
+		&MissionAck{TargetSystem: 1, TargetComponent: 1, Type: MissionAccepted},
+		&MissionRequestInt{Seq: 7, TargetSystem: 1, TargetComponent: 1},
+		&MissionItemInt{
+			Param4: -90, LatE7: 436084298, LonE7: -858110359, Alt: 15,
+			Seq: 3, Command: CmdNavWaypoint, Frame: 6, Autocontinue: 1,
+		},
+	}
+	for _, in := range msgs {
+		raw, err := Encode(1, 1, 1, in)
+		if err != nil {
+			t.Fatalf("%T: %v", in, err)
+		}
+		f, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("%T: %v", in, err)
+		}
+		if f.Message.ID() != in.ID() {
+			t.Fatalf("%T: id %d", in, f.Message.ID())
+		}
+	}
+	// Full-field item round trip.
+	in := &MissionItemInt{Param1: 1, Param2: 2, Param3: 3, Param4: 4,
+		LatE7: 1, LonE7: -2, Alt: 3.5, Seq: 9, Command: CmdNavWaypoint,
+		TargetSystem: 1, TargetComponent: 2, Frame: 6, Current: 1, Autocontinue: 1}
+	raw, _ := Encode(0, 1, 1, in)
+	f, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f.Message.(*MissionItemInt)
+	if *out != *in {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+}
+
+func TestParamMessagesRoundTrip(t *testing.T) {
+	msgs := []Message{
+		&ParamRequestRead{ParamID: "WPNAV_SPEED", TargetSystem: 1, TargetComponent: 1},
+		&ParamRequestList{TargetSystem: 1, TargetComponent: 1},
+		&ParamValue{Value: 800, ParamCount: 6, ParamIndex: 2, ParamID: "WPNAV_SPEED", ParamType: 9},
+		&ParamSet{Value: 500, ParamID: "ANGLE_MAX", TargetSystem: 1, TargetComponent: 1, ParamType: 9},
+	}
+	for _, in := range msgs {
+		raw, err := Encode(1, 1, 1, in)
+		if err != nil {
+			t.Fatalf("%T: %v", in, err)
+		}
+		f, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("%T: %v", in, err)
+		}
+		if f.Message.ID() != in.ID() {
+			t.Fatalf("%T: id %d", in, f.Message.ID())
+		}
+	}
+	// Name fidelity through the fixed-width field.
+	in := &ParamValue{ParamID: "A_SIXTEEN_CHAR_X", Value: 1}
+	raw, _ := Encode(0, 1, 1, in)
+	f, _ := Decode(raw)
+	if got := f.Message.(*ParamValue).ParamID; got != "A_SIXTEEN_CHAR_X" {
+		t.Fatalf("param id = %q", got)
+	}
+}

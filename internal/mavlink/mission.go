@@ -1,0 +1,201 @@
+package mavlink
+
+import "encoding/binary"
+
+// Mission protocol message ids (MAVLink common dialect).
+const (
+	MsgIDMissionCount      = 44
+	MsgIDMissionClearAll   = 45
+	MsgIDMissionAck        = 47
+	MsgIDMissionRequestInt = 51
+	MsgIDMissionItemInt    = 73
+)
+
+// MISSION_ACK results (MAV_MISSION_RESULT).
+const (
+	MissionAccepted     = 0
+	MissionError        = 1
+	MissionUnsupported  = 3
+	MissionDenied       = 5
+	MissionInvalidParam = 7
+	MissionInvalidSeq   = 13
+)
+
+func init() {
+	// Per-message CRC seeds from the common dialect.
+	crcExtra[MsgIDMissionCount] = 221
+	crcExtra[MsgIDMissionClearAll] = 232
+	crcExtra[MsgIDMissionAck] = 153
+	crcExtra[MsgIDMissionRequestInt] = 196
+	crcExtra[MsgIDMissionItemInt] = 38
+}
+
+// MissionCount opens a mission upload of Count items.
+type MissionCount struct {
+	Count           uint16
+	TargetSystem    uint8
+	TargetComponent uint8
+}
+
+// ID implements Message.
+func (*MissionCount) ID() uint8 { return MsgIDMissionCount }
+
+// MarshalPayload implements Message.
+func (m *MissionCount) MarshalPayload() []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint16(b[0:], m.Count)
+	b[2] = m.TargetSystem
+	b[3] = m.TargetComponent
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (m *MissionCount) UnmarshalPayload(b []byte) error {
+	if len(b) < 4 {
+		return ErrShortFrame
+	}
+	m.Count = binary.LittleEndian.Uint16(b[0:])
+	m.TargetSystem = b[2]
+	m.TargetComponent = b[3]
+	return nil
+}
+
+// MissionClearAll erases the stored mission.
+type MissionClearAll struct {
+	TargetSystem    uint8
+	TargetComponent uint8
+}
+
+// ID implements Message.
+func (*MissionClearAll) ID() uint8 { return MsgIDMissionClearAll }
+
+// MarshalPayload implements Message.
+func (m *MissionClearAll) MarshalPayload() []byte {
+	return []byte{m.TargetSystem, m.TargetComponent}
+}
+
+// UnmarshalPayload implements Message.
+func (m *MissionClearAll) UnmarshalPayload(b []byte) error {
+	if len(b) < 2 {
+		return ErrShortFrame
+	}
+	m.TargetSystem = b[0]
+	m.TargetComponent = b[1]
+	return nil
+}
+
+// MissionAck closes a mission transaction.
+type MissionAck struct {
+	TargetSystem    uint8
+	TargetComponent uint8
+	Type            uint8 // MAV_MISSION_RESULT
+}
+
+// ID implements Message.
+func (*MissionAck) ID() uint8 { return MsgIDMissionAck }
+
+// MarshalPayload implements Message.
+func (m *MissionAck) MarshalPayload() []byte {
+	return []byte{m.TargetSystem, m.TargetComponent, m.Type}
+}
+
+// UnmarshalPayload implements Message.
+func (m *MissionAck) UnmarshalPayload(b []byte) error {
+	if len(b) < 3 {
+		return ErrShortFrame
+	}
+	m.TargetSystem = b[0]
+	m.TargetComponent = b[1]
+	m.Type = b[2]
+	return nil
+}
+
+// MissionRequestInt asks the uploader for item seq.
+type MissionRequestInt struct {
+	Seq             uint16
+	TargetSystem    uint8
+	TargetComponent uint8
+}
+
+// ID implements Message.
+func (*MissionRequestInt) ID() uint8 { return MsgIDMissionRequestInt }
+
+// MarshalPayload implements Message.
+func (m *MissionRequestInt) MarshalPayload() []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint16(b[0:], m.Seq)
+	b[2] = m.TargetSystem
+	b[3] = m.TargetComponent
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (m *MissionRequestInt) UnmarshalPayload(b []byte) error {
+	if len(b) < 4 {
+		return ErrShortFrame
+	}
+	m.Seq = binary.LittleEndian.Uint16(b[0:])
+	m.TargetSystem = b[2]
+	m.TargetComponent = b[3]
+	return nil
+}
+
+// MissionItemInt is one mission item with fixed-point coordinates.
+type MissionItemInt struct {
+	Param1, Param2, Param3, Param4 float32
+	LatE7                          int32
+	LonE7                          int32
+	Alt                            float32 // meters, relative in our usage
+	Seq                            uint16
+	Command                        uint16
+	TargetSystem                   uint8
+	TargetComponent                uint8
+	Frame                          uint8
+	Current                        uint8
+	Autocontinue                   uint8
+}
+
+// ID implements Message.
+func (*MissionItemInt) ID() uint8 { return MsgIDMissionItemInt }
+
+// MarshalPayload implements Message.
+func (m *MissionItemInt) MarshalPayload() []byte {
+	b := make([]byte, 37)
+	putF32(b[0:], m.Param1)
+	putF32(b[4:], m.Param2)
+	putF32(b[8:], m.Param3)
+	putF32(b[12:], m.Param4)
+	binary.LittleEndian.PutUint32(b[16:], uint32(m.LatE7))
+	binary.LittleEndian.PutUint32(b[20:], uint32(m.LonE7))
+	putF32(b[24:], m.Alt)
+	binary.LittleEndian.PutUint16(b[28:], m.Seq)
+	binary.LittleEndian.PutUint16(b[30:], m.Command)
+	b[32] = m.TargetSystem
+	b[33] = m.TargetComponent
+	b[34] = m.Frame
+	b[35] = m.Current
+	b[36] = m.Autocontinue
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (m *MissionItemInt) UnmarshalPayload(b []byte) error {
+	if len(b) < 37 {
+		return ErrShortFrame
+	}
+	m.Param1 = getF32(b[0:])
+	m.Param2 = getF32(b[4:])
+	m.Param3 = getF32(b[8:])
+	m.Param4 = getF32(b[12:])
+	m.LatE7 = int32(binary.LittleEndian.Uint32(b[16:]))
+	m.LonE7 = int32(binary.LittleEndian.Uint32(b[20:]))
+	m.Alt = getF32(b[24:])
+	m.Seq = binary.LittleEndian.Uint16(b[28:])
+	m.Command = binary.LittleEndian.Uint16(b[30:])
+	m.TargetSystem = b[32]
+	m.TargetComponent = b[33]
+	m.Frame = b[34]
+	m.Current = b[35]
+	m.Autocontinue = b[36]
+	return nil
+}

@@ -1,0 +1,162 @@
+package mavlink
+
+import "encoding/binary"
+
+// Parameter protocol message ids (MAVLink common dialect).
+const (
+	MsgIDParamRequestRead = 20
+	MsgIDParamRequestList = 21
+	MsgIDParamValue       = 22
+	MsgIDParamSet         = 23
+)
+
+func init() {
+	crcExtra[MsgIDParamRequestRead] = 214
+	crcExtra[MsgIDParamRequestList] = 159
+	crcExtra[MsgIDParamValue] = 220
+	crcExtra[MsgIDParamSet] = 168
+}
+
+// paramIDLen is the fixed parameter name field width.
+const paramIDLen = 16
+
+func putParamID(b []byte, id string) {
+	copy(b[:paramIDLen], id)
+}
+
+func getParamID(b []byte) string {
+	s := b[:paramIDLen]
+	for i, c := range s {
+		if c == 0 {
+			return string(s[:i])
+		}
+	}
+	return string(s)
+}
+
+// ParamRequestRead asks for one parameter by name (index unsupported here).
+type ParamRequestRead struct {
+	ParamID         string
+	TargetSystem    uint8
+	TargetComponent uint8
+}
+
+// ID implements Message.
+func (*ParamRequestRead) ID() uint8 { return MsgIDParamRequestRead }
+
+// MarshalPayload implements Message.
+func (p *ParamRequestRead) MarshalPayload() []byte {
+	b := make([]byte, 2+paramIDLen+2)
+	binary.LittleEndian.PutUint16(b[0:], 0xFFFF) // index -1: by name
+	putParamID(b[2:], p.ParamID)
+	b[2+paramIDLen] = p.TargetSystem
+	b[3+paramIDLen] = p.TargetComponent
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (p *ParamRequestRead) UnmarshalPayload(b []byte) error {
+	if len(b) < 2+paramIDLen+2 {
+		return ErrShortFrame
+	}
+	p.ParamID = getParamID(b[2:])
+	p.TargetSystem = b[2+paramIDLen]
+	p.TargetComponent = b[3+paramIDLen]
+	return nil
+}
+
+// ParamRequestList asks for the full parameter table.
+type ParamRequestList struct {
+	TargetSystem    uint8
+	TargetComponent uint8
+}
+
+// ID implements Message.
+func (*ParamRequestList) ID() uint8 { return MsgIDParamRequestList }
+
+// MarshalPayload implements Message.
+func (p *ParamRequestList) MarshalPayload() []byte {
+	return []byte{p.TargetSystem, p.TargetComponent}
+}
+
+// UnmarshalPayload implements Message.
+func (p *ParamRequestList) UnmarshalPayload(b []byte) error {
+	if len(b) < 2 {
+		return ErrShortFrame
+	}
+	p.TargetSystem = b[0]
+	p.TargetComponent = b[1]
+	return nil
+}
+
+// ParamValue announces one parameter's value.
+type ParamValue struct {
+	Value      float32
+	ParamCount uint16
+	ParamIndex uint16
+	ParamID    string
+	ParamType  uint8
+}
+
+// ID implements Message.
+func (*ParamValue) ID() uint8 { return MsgIDParamValue }
+
+// MarshalPayload implements Message.
+func (p *ParamValue) MarshalPayload() []byte {
+	b := make([]byte, 4+2+2+paramIDLen+1)
+	putF32(b[0:], p.Value)
+	binary.LittleEndian.PutUint16(b[4:], p.ParamCount)
+	binary.LittleEndian.PutUint16(b[6:], p.ParamIndex)
+	putParamID(b[8:], p.ParamID)
+	b[8+paramIDLen] = p.ParamType
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (p *ParamValue) UnmarshalPayload(b []byte) error {
+	if len(b) < 4+2+2+paramIDLen+1 {
+		return ErrShortFrame
+	}
+	p.Value = getF32(b[0:])
+	p.ParamCount = binary.LittleEndian.Uint16(b[4:])
+	p.ParamIndex = binary.LittleEndian.Uint16(b[6:])
+	p.ParamID = getParamID(b[8:])
+	p.ParamType = b[8+paramIDLen]
+	return nil
+}
+
+// ParamSet writes a parameter.
+type ParamSet struct {
+	Value           float32
+	ParamID         string
+	TargetSystem    uint8
+	TargetComponent uint8
+	ParamType       uint8
+}
+
+// ID implements Message.
+func (*ParamSet) ID() uint8 { return MsgIDParamSet }
+
+// MarshalPayload implements Message.
+func (p *ParamSet) MarshalPayload() []byte {
+	b := make([]byte, 4+2+paramIDLen+1)
+	putF32(b[0:], p.Value)
+	b[4] = p.TargetSystem
+	b[5] = p.TargetComponent
+	putParamID(b[6:], p.ParamID)
+	b[6+paramIDLen] = p.ParamType
+	return b
+}
+
+// UnmarshalPayload implements Message.
+func (p *ParamSet) UnmarshalPayload(b []byte) error {
+	if len(b) < 4+2+paramIDLen+1 {
+		return ErrShortFrame
+	}
+	p.Value = getF32(b[0:])
+	p.TargetSystem = b[4]
+	p.TargetComponent = b[5]
+	p.ParamID = getParamID(b[6:])
+	p.ParamType = b[6+paramIDLen]
+	return nil
+}

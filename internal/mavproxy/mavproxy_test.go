@@ -1,0 +1,570 @@
+package mavproxy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"androne/internal/flight"
+	"androne/internal/geo"
+	"androne/internal/mavlink"
+)
+
+var home = geo.Position{LatLon: geo.LatLon{Lat: 43.6084298, Lon: -85.8110359}, Alt: 0}
+
+type rig struct {
+	v     *flight.Vehicle
+	proxy *Proxy
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	v := flight.NewVehicle(home, t.Name())
+	v.StepSeconds(0.1)
+	return &rig{v: v, proxy: New(v.Controller)}
+}
+
+// fly advances the sim and ticks the proxy.
+func (r *rig) fly(seconds float64) {
+	steps := int(seconds * flight.FastLoopHz)
+	for i := 0; i < steps; i++ {
+		r.v.Sim.Step(flight.FastLoopDT)
+		r.v.Controller.Step(flight.FastLoopDT)
+		if i%40 == 0 {
+			r.proxy.Tick()
+		}
+	}
+}
+
+// flyUntil advances until cond or timeout, ticking the proxy.
+func (r *rig) flyUntil(cond func() bool, timeoutS float64) bool {
+	steps := int(timeoutS * flight.FastLoopHz)
+	for i := 0; i < steps; i++ {
+		r.v.Sim.Step(flight.FastLoopDT)
+		r.v.Controller.Step(flight.FastLoopDT)
+		if i%40 == 0 {
+			r.proxy.Tick()
+			if cond() {
+				return true
+			}
+		}
+	}
+	return cond()
+}
+
+// takeoff uses the master connection (the flight planner's role).
+func (r *rig) takeoff(t *testing.T, alt float64) {
+	t.Helper()
+	m := r.proxy.Master()
+	m.Send(&mavlink.CommandLong{Command: mavlink.CmdDoSetMode, Param2: mavlink.ModeGuided})
+	m.Send(&mavlink.CommandLong{Command: mavlink.CmdComponentArmDisarm, Param1: 1})
+	m.Send(&mavlink.CommandLong{Command: mavlink.CmdNavTakeoff, Param7: float32(alt)})
+	if !r.flyUntil(func() bool { return math.Abs(r.v.Sim.AltitudeAGL()-alt) < 0.5 }, 30) {
+		t.Fatalf("takeoff failed: %.2f m", r.v.Sim.AltitudeAGL())
+	}
+}
+
+func waypointAt(n, e float64, radius float64) geo.Waypoint {
+	return geo.Waypoint{
+		Position:  geo.Position{LatLon: geo.OffsetNE(home.LatLon, n, e), Alt: 15},
+		MaxRadius: radius,
+	}
+}
+
+func ackResult(t *testing.T, replies []mavlink.Message) uint8 {
+	t.Helper()
+	if len(replies) != 1 {
+		t.Fatalf("replies = %v", replies)
+	}
+	return replies[0].(*mavlink.CommandAck).Result
+}
+
+func TestMasterUnrestricted(t *testing.T) {
+	r := newRig(t)
+	r.takeoff(t, 10)
+	if !r.v.Controller.Armed() {
+		t.Fatal("not armed via master")
+	}
+}
+
+func TestVFCIdlePresentsGroundedDrone(t *testing.T) {
+	r := newRig(t)
+	vfc, err := r.proxy.NewVFC("vd1", TemplateStandard(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assign its waypoint but don't activate.
+	wp := waypointAt(50, 0, 30)
+	vfc.mu.Lock()
+	vfc.waypoint = wp
+	vfc.mu.Unlock()
+
+	r.takeoff(t, 15) // real drone flies; virtual view must not change
+
+	tele := vfc.Telemetry()
+	var hb *mavlink.Heartbeat
+	var gp *mavlink.GlobalPositionInt
+	for _, m := range tele {
+		switch v := m.(type) {
+		case *mavlink.Heartbeat:
+			hb = v
+		case *mavlink.GlobalPositionInt:
+			gp = v
+		}
+	}
+	if hb == nil || gp == nil {
+		t.Fatalf("telemetry = %v", tele)
+	}
+	if hb.Armed() {
+		t.Fatal("idle VFC shows armed drone")
+	}
+	if gp.RelativeAltMM != 0 {
+		t.Fatalf("idle VFC altitude = %d mm, want on ground", gp.RelativeAltMM)
+	}
+	if got := mavlink.E7ToLatLon(gp.LatE7); math.Abs(got-wp.Lat) > 1e-6 {
+		t.Fatalf("idle VFC lat = %v, want waypoint %v", got, wp.Lat)
+	}
+
+	// Commands are declined while idle.
+	res := ackResult(t, vfc.Send(&mavlink.CommandLong{Command: mavlink.CmdNavTakeoff, Param7: 10}))
+	if res != mavlink.ResultTemporarilyRejected {
+		t.Fatalf("idle command result = %d", res)
+	}
+}
+
+func TestVFCActiveControlsDrone(t *testing.T) {
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateStandard(), false)
+	r.takeoff(t, 15)
+	wp := waypointAt(0, 0, 60)
+	if err := r.proxy.Activate("vd1", wp); err != nil {
+		t.Fatal(err)
+	}
+	if vfc.State() != VFCActive {
+		t.Fatalf("state = %v", vfc.State())
+	}
+
+	// Guided position target inside the fence.
+	tgt := geo.OffsetNE(home.LatLon, 30, 0)
+	vfc.Send(&mavlink.SetPositionTargetGlobalInt{
+		LatE7: mavlink.LatLonToE7(tgt.Lat), LonE7: mavlink.LatLonToE7(tgt.Lon), Alt: 15,
+	})
+	ok := r.flyUntil(func() bool {
+		n, _ := r.v.Sim.NE()
+		return n > 28
+	}, 40)
+	if !ok {
+		t.Fatal("VFC position target not honored")
+	}
+	// Active telemetry is real.
+	tele := vfc.Telemetry()
+	for _, m := range tele {
+		if gp, ok := m.(*mavlink.GlobalPositionInt); ok {
+			if gp.RelativeAltMM < 10000 {
+				t.Fatalf("active VFC altitude = %d mm", gp.RelativeAltMM)
+			}
+		}
+	}
+}
+
+func TestWhitelistGuidedOnly(t *testing.T) {
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateGuidedOnly(), false)
+	r.takeoff(t, 15)
+	if err := r.proxy.Activate("vd1", waypointAt(0, 0, 60)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Takeoff/land/RTL commands denied.
+	for _, cmd := range []uint16{mavlink.CmdNavTakeoff, mavlink.CmdNavLand, mavlink.CmdNavReturnToLaunch, mavlink.CmdDoSetMode} {
+		res := ackResult(t, vfc.Send(&mavlink.CommandLong{Command: cmd, Param2: mavlink.ModeGuided, Param7: 10}))
+		if res != mavlink.ResultDenied {
+			t.Errorf("command %d result = %d, want denied", cmd, res)
+		}
+	}
+	// Speed change allowed.
+	res := ackResult(t, vfc.Send(&mavlink.CommandLong{Command: mavlink.CmdDoChangeSpeed, Param2: 3}))
+	if res != mavlink.ResultAccepted {
+		t.Fatalf("speed change result = %d", res)
+	}
+	// Position target allowed (inside fence).
+	tgt := geo.OffsetNE(home.LatLon, 10, 10)
+	replies := vfc.Send(&mavlink.SetPositionTargetGlobalInt{
+		LatE7: mavlink.LatLonToE7(tgt.Lat), LonE7: mavlink.LatLonToE7(tgt.Lon), Alt: 15,
+	})
+	if len(replies) != 0 {
+		t.Fatalf("position target replies = %v", replies)
+	}
+}
+
+func TestFenceRejectsOutsideTargets(t *testing.T) {
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateStandard(), false)
+	r.takeoff(t, 15)
+	if err := r.proxy.Activate("vd1", waypointAt(0, 0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	out := geo.OffsetNE(home.LatLon, 100, 0)
+	res := ackResult(t, vfc.Send(&mavlink.SetPositionTargetGlobalInt{
+		LatE7: mavlink.LatLonToE7(out.Lat), LonE7: mavlink.LatLonToE7(out.Lon), Alt: 15,
+	}))
+	if res != mavlink.ResultDenied {
+		t.Fatalf("outside target result = %d, want denied", res)
+	}
+}
+
+func TestUnsafeModeDenied(t *testing.T) {
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateStandard(), false)
+	r.takeoff(t, 15)
+	if err := r.proxy.Activate("vd1", waypointAt(0, 0, 60)); err != nil {
+		t.Fatal(err)
+	}
+	// RTL and STABILIZE via SetMode are reserved for the provider.
+	for _, mode := range []uint32{mavlink.ModeRTL, mavlink.ModeStabilize, mavlink.ModeAuto} {
+		res := ackResult(t, vfc.Send(&mavlink.SetMode{CustomMode: mode}))
+		if res != mavlink.ResultDenied {
+			t.Errorf("mode %s result = %d, want denied", mavlink.ModeName(mode), res)
+		}
+	}
+	// LOITER is fine.
+	res := ackResult(t, vfc.Send(&mavlink.SetMode{CustomMode: mavlink.ModeLoiter}))
+	if res != mavlink.ResultAccepted {
+		t.Fatalf("loiter result = %d", res)
+	}
+}
+
+func TestGeofenceBreachSequence(t *testing.T) {
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateStandard(), false)
+	r.takeoff(t, 15)
+	if err := r.proxy.Activate("vd1", waypointAt(0, 0, 40)); err != nil {
+		t.Fatal(err)
+	}
+	// The provider-side master flies the drone out of the fence (simulating
+	// e.g. a gust or an aggressive manual maneuver).
+	if err := r.proxy.Master().Controller().GotoPosition(
+		geo.Position{LatLon: geo.OffsetNE(home.LatLon, 80, 0), Alt: 15}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Breach detected: commands disabled, virtual drone informed.
+	ok := r.flyUntil(func() bool { return vfc.Recovering() }, 40)
+	if !ok {
+		t.Fatal("breach never detected")
+	}
+	res := ackResult(t, vfc.Send(&mavlink.CommandLong{Command: mavlink.CmdDoChangeSpeed, Param2: 2}))
+	if res != mavlink.ResultTemporarilyRejected {
+		t.Fatalf("command during recovery = %d", res)
+	}
+
+	// Recovery completes: drone back inside, loitering, control returned.
+	ok = r.flyUntil(func() bool { return !vfc.Recovering() }, 60)
+	if !ok {
+		t.Fatal("recovery never completed")
+	}
+	fence := geo.FenceFor(waypointAt(0, 0, 40))
+	if !fence.Contains(r.v.Sim.Position()) {
+		t.Fatalf("drone still outside fence at %v", r.v.Sim.Position())
+	}
+	if mode := r.v.Controller.Mode(); mode != mavlink.ModeLoiter {
+		t.Fatalf("mode after recovery = %s", mavlink.ModeName(mode))
+	}
+	// Events delivered: breach warning and recovery notice.
+	var texts []string
+	for _, m := range vfc.Telemetry() {
+		if st, ok := m.(*mavlink.StatusText); ok {
+			texts = append(texts, st.Text)
+		}
+	}
+	if len(texts) < 2 {
+		t.Fatalf("status texts = %v, want breach + recovery", texts)
+	}
+	// Commands accepted again.
+	res = ackResult(t, vfc.Send(&mavlink.CommandLong{Command: mavlink.CmdDoChangeSpeed, Param2: 2}))
+	if res != mavlink.ResultAccepted {
+		t.Fatalf("command after recovery = %d", res)
+	}
+}
+
+func TestDeactivatePresentsLanding(t *testing.T) {
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateStandard(), false)
+	r.takeoff(t, 15)
+	if err := r.proxy.Activate("vd1", waypointAt(0, 0, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.proxy.Deactivate("vd1"); err != nil {
+		t.Fatal(err)
+	}
+	if vfc.State() != VFCFinished {
+		t.Fatalf("state = %v", vfc.State())
+	}
+	// Commands declined, view is landed.
+	res := ackResult(t, vfc.Send(&mavlink.CommandLong{Command: mavlink.CmdDoChangeSpeed, Param2: 2}))
+	if res != mavlink.ResultTemporarilyRejected {
+		t.Fatalf("result = %d", res)
+	}
+	for _, m := range vfc.Telemetry() {
+		if gp, ok := m.(*mavlink.GlobalPositionInt); ok && gp.RelativeAltMM != 0 {
+			t.Fatalf("finished VFC altitude = %d", gp.RelativeAltMM)
+		}
+	}
+	// The controller's fence was removed so the planner can route on.
+	if r.v.Controller.Fence() != nil {
+		t.Fatal("fence still installed after deactivation")
+	}
+}
+
+func TestContinuousDevicesShowRealPosition(t *testing.T) {
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateStandard(), true)
+	r.takeoff(t, 15)
+
+	// Inactive but continuous: the real position is shown to avoid
+	// discrepancies with device readings...
+	var gotAlt int32
+	for _, m := range vfc.Telemetry() {
+		if gp, ok := m.(*mavlink.GlobalPositionInt); ok {
+			gotAlt = gp.RelativeAltMM
+		}
+	}
+	if gotAlt < 10000 {
+		t.Fatalf("continuous VFC altitude = %d mm, want real (~15000)", gotAlt)
+	}
+	// ...but the heartbeat presents an inactive (disarmed) drone and
+	// commands are still declined until a waypoint is reached.
+	for _, m := range vfc.Telemetry() {
+		if hb, ok := m.(*mavlink.Heartbeat); ok && hb.Armed() {
+			t.Fatal("continuous inactive VFC shows armed")
+		}
+	}
+	res := ackResult(t, vfc.Send(&mavlink.CommandLong{Command: mavlink.CmdDoChangeSpeed, Param2: 2}))
+	if res != mavlink.ResultTemporarilyRejected {
+		t.Fatalf("result = %d", res)
+	}
+}
+
+func TestVFCBookkeeping(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.proxy.NewVFC("vd1", TemplateStandard(), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.proxy.NewVFC("vd1", TemplateStandard(), false); !errors.Is(err, ErrVFCExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := r.proxy.VFCByName("nope"); !errors.Is(err, ErrNoVFC) {
+		t.Fatalf("missing: %v", err)
+	}
+	if err := r.proxy.Activate("nope", waypointAt(0, 0, 30)); !errors.Is(err, ErrNoVFC) {
+		t.Fatalf("activate missing: %v", err)
+	}
+	if err := r.proxy.Deactivate("nope"); !errors.Is(err, ErrNoVFC) {
+		t.Fatalf("deactivate missing: %v", err)
+	}
+}
+
+func TestHeartbeatsAlwaysSilent(t *testing.T) {
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateGuidedOnly(), false)
+	if replies := vfc.Send(&mavlink.Heartbeat{}); replies != nil {
+		t.Fatalf("heartbeat replies = %v", replies)
+	}
+}
+
+func TestTemplates(t *testing.T) {
+	g := TemplateGuidedOnly()
+	if g.AllowsCommand(mavlink.CmdNavTakeoff) || !g.AllowsMessage(mavlink.MsgIDSetPositionTargetGlobal) {
+		t.Fatal("guided-only template wrong")
+	}
+	s := TemplateStandard()
+	if !s.AllowsCommand(mavlink.CmdNavTakeoff) || s.AllowsCommand(mavlink.CmdNavReturnToLaunch) {
+		t.Fatal("standard template wrong")
+	}
+	f := TemplateFull()
+	if !f.AllowsCommand(mavlink.CmdNavReturnToLaunch) {
+		t.Fatal("full template wrong")
+	}
+}
+
+func TestWhitelistPropertyDenyByDefault(t *testing.T) {
+	// Property: while active, any command NOT in the whitelist is denied
+	// and never reaches the flight controller; any in-fence position target
+	// is forwarded; nothing reaches the controller while idle/finished.
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateGuidedOnly(), false)
+	r.takeoff(t, 15)
+	if err := r.proxy.Activate("vd1", waypointAt(0, 0, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(cmd uint16) bool {
+		armedBefore := r.v.Controller.Armed()
+		modeBefore := r.v.Controller.Mode()
+		replies := vfc.Send(&mavlink.CommandLong{Command: cmd, Param1: 1, Param2: mavlink.ModeGuided})
+		allowed := TemplateGuidedOnly().AllowsCommand(cmd)
+		if !allowed {
+			// Denied, and no controller state change.
+			if len(replies) != 1 {
+				return false
+			}
+			ack := replies[0].(*mavlink.CommandAck)
+			if ack.Result != mavlink.ResultDenied {
+				return false
+			}
+			return r.v.Controller.Armed() == armedBefore && r.v.Controller.Mode() == modeBefore
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFencePropertyPositionTargets(t *testing.T) {
+	// Property: a position target is accepted iff it lies inside the
+	// waypoint's geofence sphere.
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateStandard(), false)
+	r.takeoff(t, 15)
+	wp := waypointAt(0, 0, 40)
+	if err := r.proxy.Activate("vd1", wp); err != nil {
+		t.Fatal(err)
+	}
+	fence := geo.FenceFor(wp)
+	if err := quick.Check(func(rawN, rawE, rawAlt float64) bool {
+		n := math.Mod(rawN, 100)
+		e := math.Mod(rawE, 100)
+		alt := math.Abs(math.Mod(rawAlt, 60))
+		if math.IsNaN(n) || math.IsNaN(e) || math.IsNaN(alt) {
+			return true
+		}
+		target := geo.Position{LatLon: geo.OffsetNE(home.LatLon, n, e), Alt: alt}
+		replies := vfc.Send(&mavlink.SetPositionTargetGlobalInt{
+			LatE7: mavlink.LatLonToE7(target.Lat), LonE7: mavlink.LatLonToE7(target.Lon),
+			Alt: float32(target.Alt),
+		})
+		inside := fence.Contains(target)
+		if inside {
+			return len(replies) == 0 // forwarded silently
+		}
+		if len(replies) != 1 {
+			return false
+		}
+		return replies[0].(*mavlink.CommandAck).Result == mavlink.ResultDenied
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVFCMissionUploadAndAuto(t *testing.T) {
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateStandard(), false)
+	r.takeoff(t, 15)
+	if err := r.proxy.Activate("vd1", waypointAt(0, 0, 60)); err != nil {
+		t.Fatal(err)
+	}
+
+	// AUTO before any upload is denied.
+	res := ackResult(t, vfc.Send(&mavlink.SetMode{CustomMode: mavlink.ModeAuto}))
+	if res != mavlink.ResultDenied {
+		t.Fatalf("AUTO without mission = %d", res)
+	}
+
+	// Upload a 2-item mission inside the fence.
+	replies := vfc.Send(&mavlink.MissionCount{Count: 2})
+	if _, ok := replies[0].(*mavlink.MissionRequestInt); !ok {
+		t.Fatalf("replies = %v", replies)
+	}
+	for i, ne := range [][2]float64{{20, 0}, {0, 20}} {
+		ll := geo.OffsetNE(home.LatLon, ne[0], ne[1])
+		replies = vfc.Send(&mavlink.MissionItemInt{
+			Seq: uint16(i), Command: mavlink.CmdNavWaypoint,
+			LatE7: mavlink.LatLonToE7(ll.Lat), LonE7: mavlink.LatLonToE7(ll.Lon), Alt: 15,
+		})
+	}
+	if ack, ok := replies[0].(*mavlink.MissionAck); !ok || ack.Type != mavlink.MissionAccepted {
+		t.Fatalf("upload ack = %v", replies)
+	}
+
+	// Now AUTO is allowed and the drone flies the mission.
+	res = ackResult(t, vfc.Send(&mavlink.SetMode{CustomMode: mavlink.ModeAuto}))
+	if res != mavlink.ResultAccepted {
+		t.Fatalf("AUTO after upload = %d", res)
+	}
+	tgt := geo.Position{LatLon: geo.OffsetNE(home.LatLon, 0, 20), Alt: 15}
+	if !r.flyUntil(func() bool { return geo.Distance3D(r.v.Sim.Position(), tgt) < 2 }, 90) {
+		t.Fatal("mission not flown")
+	}
+}
+
+func TestVFCMissionItemOutsideFenceDenied(t *testing.T) {
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateStandard(), false)
+	r.takeoff(t, 15)
+	if err := r.proxy.Activate("vd1", waypointAt(0, 0, 40)); err != nil {
+		t.Fatal(err)
+	}
+	vfc.Send(&mavlink.MissionCount{Count: 1})
+	out := geo.OffsetNE(home.LatLon, 200, 0)
+	replies := vfc.Send(&mavlink.MissionItemInt{
+		Seq: 0, Command: mavlink.CmdNavWaypoint,
+		LatE7: mavlink.LatLonToE7(out.Lat), LonE7: mavlink.LatLonToE7(out.Lon), Alt: 15,
+	})
+	ack, ok := replies[0].(*mavlink.MissionAck)
+	if !ok || ack.Type != mavlink.MissionDenied {
+		t.Fatalf("replies = %v", replies)
+	}
+	// AUTO remains locked.
+	res := ackResult(t, vfc.Send(&mavlink.SetMode{CustomMode: mavlink.ModeAuto}))
+	if res != mavlink.ResultDenied {
+		t.Fatalf("AUTO after denied item = %d", res)
+	}
+}
+
+func TestVFCMissionGuidedOnlyDenied(t *testing.T) {
+	r := newRig(t)
+	vfc, _ := r.proxy.NewVFC("vd1", TemplateGuidedOnly(), false)
+	r.takeoff(t, 15)
+	if err := r.proxy.Activate("vd1", waypointAt(0, 0, 60)); err != nil {
+		t.Fatal(err)
+	}
+	res := ackResult(t, vfc.Send(&mavlink.MissionCount{Count: 1}))
+	if res != mavlink.ResultDenied {
+		t.Fatalf("guided-only mission upload = %d", res)
+	}
+}
+
+func TestVFCParamGating(t *testing.T) {
+	r := newRig(t)
+	std, _ := r.proxy.NewVFC("std", TemplateStandard(), false)
+	full, _ := r.proxy.NewVFC("full", TemplateFull(), false)
+	r.takeoff(t, 15)
+	if err := r.proxy.Activate("std", waypointAt(0, 0, 60)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Standard: reads allowed, writes denied.
+	replies := std.Send(&mavlink.ParamRequestList{})
+	if len(replies) == 0 {
+		t.Fatal("standard template cannot read params")
+	}
+	res := ackResult(t, std.Send(&mavlink.ParamSet{ParamID: flight.ParamWPNavSpeed, Value: 300}))
+	if res != mavlink.ResultDenied {
+		t.Fatalf("standard param write = %d, want denied", res)
+	}
+
+	// Full: writes pass through (and get clamped by the controller).
+	if err := r.proxy.Deactivate("std"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.proxy.Activate("full", waypointAt(0, 0, 60)); err != nil {
+		t.Fatal(err)
+	}
+	replies = full.Send(&mavlink.ParamSet{ParamID: flight.ParamWPNavSpeed, Value: 99999})
+	if len(replies) != 1 {
+		t.Fatalf("full param write replies = %v", replies)
+	}
+	if got := replies[0].(*mavlink.ParamValue).Value; got != 1200 {
+		t.Fatalf("clamped value = %g, want 1200", got)
+	}
+}

@@ -1,0 +1,379 @@
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"androne/internal/geo"
+)
+
+var base = geo.Position{LatLon: geo.LatLon{Lat: 43.6084298, Lon: -85.8110359}, Alt: 0}
+
+func wpAt(n, e float64) geo.Waypoint {
+	return geo.Waypoint{
+		Position:  geo.Position{LatLon: geo.OffsetNE(base.LatLon, n, e), Alt: 15},
+		MaxRadius: 30,
+	}
+}
+
+func exampleTasks() []Task {
+	return []Task{
+		{ID: "survey", Waypoints: []geo.Waypoint{wpAt(200, 0), wpAt(250, 100)}, EnergyJ: 45000, DurationS: 600},
+		{ID: "interactive", Waypoints: []geo.Waypoint{wpAt(-150, 200)}, EnergyJ: 20000, DurationS: 300},
+		{ID: "direct", Waypoints: []geo.Waypoint{wpAt(100, -300)}, EnergyJ: 15000, DurationS: 240},
+	}
+}
+
+func TestPlanCoversAllWaypoints(t *testing.T) {
+	cfg := DefaultConfig(base)
+	plan, err := cfg.Plan(exampleTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(cfg, exampleTasks()); err != nil {
+		t.Fatal(err)
+	}
+	var stops int
+	for _, r := range plan.Routes {
+		stops += len(r.Stops)
+	}
+	if stops != 4 {
+		t.Fatalf("stops = %d, want 4", stops)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := DefaultConfig(base)
+	p1, err := cfg.Plan(exampleTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cfg.Plan(exampleTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.TotalDurationS() != p2.TotalDurationS() || p1.TotalEnergyJ() != p2.TotalEnergyJ() {
+		t.Fatal("same seed produced different plans")
+	}
+}
+
+func TestAnnealingNotWorseThanGreedy(t *testing.T) {
+	cfg := DefaultConfig(base)
+	tasks := exampleTasks()
+	stops := explode(tasks)
+	greedyCost := cfg.cost(cfg.greedy(stops))
+	plan, err := cfg.Plan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild route lists to cost the final plan the same way.
+	final := make([][]Stop, len(plan.Routes))
+	for i, r := range plan.Routes {
+		final[i] = r.Stops
+	}
+	if c := cfg.cost(final); c > greedyCost*1.01 {
+		t.Fatalf("annealed cost %.1f worse than greedy %.1f", c, greedyCost)
+	}
+}
+
+func TestFleetConstraint(t *testing.T) {
+	cfg := DefaultConfig(base)
+	cfg.FleetSize = 2
+	plan, err := cfg.Plan(exampleTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range plan.Routes {
+		if r.Drone < 0 || r.Drone >= 2 {
+			t.Fatalf("route assigned to drone %d with fleet 2", r.Drone)
+		}
+	}
+	if err := plan.Validate(cfg, exampleTasks()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatterySplit(t *testing.T) {
+	// Many dwell-heavy waypoints exceed one battery: the planner must split
+	// them across multiple flights, each within budget.
+	cfg := DefaultConfig(base)
+	var tasks []Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, Task{
+			ID:        fmt.Sprintf("vd%d", i),
+			Waypoints: []geo.Waypoint{wpAt(float64(100+50*i), float64(50*i))},
+			EnergyJ:   40000, // dwells alone exceed one 150k budget after 4
+			DurationS: 300,
+		})
+	}
+	plan, err := cfg.Plan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Routes) < 2 {
+		t.Fatalf("routes = %d, want battery-driven split", len(plan.Routes))
+	}
+	if err := plan.Validate(cfg, tasks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfeasibleSingleStop(t *testing.T) {
+	cfg := DefaultConfig(base)
+	tasks := []Task{{ID: "greedy", Waypoints: []geo.Waypoint{wpAt(100, 0)}, EnergyJ: 1e9}}
+	if _, err := cfg.Plan(tasks); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestNoFleet(t *testing.T) {
+	cfg := DefaultConfig(base)
+	cfg.FleetSize = 0
+	if _, err := cfg.Plan(exampleTasks()); !errors.Is(err, ErrNoFleet) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyTasks(t *testing.T) {
+	cfg := DefaultConfig(base)
+	plan, err := cfg.Plan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Routes) != 0 {
+		t.Fatalf("routes = %d", len(plan.Routes))
+	}
+	if plan.TotalDurationS() != 0 || plan.TotalEnergyJ() != 0 {
+		t.Fatal("empty plan has nonzero totals")
+	}
+}
+
+func TestSingleWaypoint(t *testing.T) {
+	cfg := DefaultConfig(base)
+	tasks := []Task{{ID: "one", Waypoints: []geo.Waypoint{wpAt(100, 100)}, EnergyJ: 5000, DurationS: 60}}
+	plan, err := cfg.Plan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Routes) != 1 || len(plan.Routes[0].Stops) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	r := plan.Routes[0]
+	// Route includes out-and-back travel plus the dwell.
+	if r.DurationS <= 60 {
+		t.Fatalf("duration = %.1f, want > dwell", r.DurationS)
+	}
+	if r.EnergyJ <= 5000 {
+		t.Fatalf("energy = %.0f, want > dwell", r.EnergyJ)
+	}
+}
+
+func TestOperatingWindow(t *testing.T) {
+	cfg := DefaultConfig(base)
+	tasks := exampleTasks()
+	plan, err := cfg.Plan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end, err := plan.OperatingWindow(cfg, "interactive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start <= 0 {
+		t.Fatalf("window start = %g", start)
+	}
+	if end < start+300 {
+		t.Fatalf("window = [%g, %g], dwell 300 missing", start, end)
+	}
+	if _, _, err := plan.OperatingWindow(cfg, "nope"); err == nil {
+		t.Fatal("window for unknown task")
+	}
+}
+
+func TestDwellSplitAcrossWaypoints(t *testing.T) {
+	stops := explode([]Task{{ID: "x", Waypoints: []geo.Waypoint{wpAt(1, 1), wpAt(2, 2)}, EnergyJ: 100, DurationS: 60}})
+	if len(stops) != 2 {
+		t.Fatalf("stops = %d", len(stops))
+	}
+	for _, s := range stops {
+		if s.DwellJ != 50 || s.DwellS != 30 {
+			t.Fatalf("dwell = %g J / %g s", s.DwellJ, s.DwellS)
+		}
+	}
+}
+
+func TestValidateCatchesMissingStop(t *testing.T) {
+	cfg := DefaultConfig(base)
+	tasks := exampleTasks()
+	plan, err := cfg.Plan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop a stop.
+	plan.Routes[0].Stops = plan.Routes[0].Stops[1:]
+	if err := plan.Validate(cfg, tasks); err == nil {
+		t.Fatal("validation passed with a missing stop")
+	}
+}
+
+func TestManyWaypointsAllPlanned(t *testing.T) {
+	cfg := DefaultConfig(base)
+	cfg.Iterations = 5000
+	cfg.FleetSize = 3
+	var tasks []Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, Task{
+			ID: fmt.Sprintf("t%d", i),
+			Waypoints: []geo.Waypoint{
+				wpAt(float64(i*60), float64(-i*40)),
+				wpAt(float64(i*60+30), float64(i*25)),
+			},
+			EnergyJ:   8000,
+			DurationS: 120,
+		})
+	}
+	plan, err := cfg.Plan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(cfg, tasks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedWaypoints(t *testing.T) {
+	// The future-work extension: a task whose waypoints must be traversed
+	// in declaration order, even when the geometry favors the reverse.
+	cfg := DefaultConfig(base)
+	tasks := []Task{
+		{
+			ID:      "tour",
+			Ordered: true,
+			// Declared far-to-near so a pure distance objective would
+			// reverse them.
+			Waypoints: []geo.Waypoint{wpAt(400, 0), wpAt(250, 50), wpAt(100, 0)},
+			EnergyJ:   15000, DurationS: 300,
+		},
+		{ID: "other", Waypoints: []geo.Waypoint{wpAt(-100, -100)}, EnergyJ: 5000, DurationS: 60},
+	}
+	plan, err := cfg.Plan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(cfg, tasks); err != nil {
+		t.Fatal(err)
+	}
+	// Indices of "tour" appear in ascending order across the plan.
+	prev := -1
+	for _, r := range plan.Routes {
+		for _, s := range r.Stops {
+			if s.Task != "tour" {
+				continue
+			}
+			if s.Index <= prev {
+				t.Fatalf("tour visited out of order: %d after %d", s.Index, prev)
+			}
+			prev = s.Index
+		}
+	}
+	if prev != 2 {
+		t.Fatalf("tour incomplete: last index %d", prev)
+	}
+}
+
+func TestUnorderedMayReorder(t *testing.T) {
+	// Without Ordered, the planner is free to reverse the declared order
+	// (the paper's documented limitation); verify Validate accepts that.
+	cfg := DefaultConfig(base)
+	tasks := []Task{{
+		ID:        "free",
+		Waypoints: []geo.Waypoint{wpAt(400, 0), wpAt(100, 0)},
+		EnergyJ:   10000, DurationS: 120,
+	}}
+	plan, err := cfg.Plan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(cfg, tasks); err != nil {
+		t.Fatal(err)
+	}
+	// The nearer waypoint (index 1) should come first from a base at 0.
+	var first Stop
+	for _, r := range plan.Routes {
+		if len(r.Stops) > 0 {
+			first = r.Stops[0]
+			break
+		}
+	}
+	if first.Index != 1 {
+		t.Logf("planner chose declared order anyway (allowed): first index %d", first.Index)
+	}
+}
+
+func TestOrderViolationsCounter(t *testing.T) {
+	ordered := map[string]bool{"a": true}
+	mk := func(task string, idx int) Stop { return Stop{Task: task, Index: idx} }
+	// Inversion within a route.
+	if v := orderViolations([][]Stop{{mk("a", 1), mk("a", 0)}}, ordered); v != 1 {
+		t.Fatalf("inversion violations = %d", v)
+	}
+	// Split across routes.
+	if v := orderViolations([][]Stop{{mk("a", 0)}, {mk("a", 1)}}, ordered); v != 1 {
+		t.Fatalf("split violations = %d", v)
+	}
+	// Clean.
+	if v := orderViolations([][]Stop{{mk("a", 0), mk("b", 5), mk("a", 1)}}, ordered); v != 0 {
+		t.Fatalf("clean violations = %d", v)
+	}
+	// Unordered tasks never count.
+	if v := orderViolations([][]Stop{{mk("b", 3), mk("b", 1)}}, ordered); v != 0 {
+		t.Fatalf("unordered counted: %d", v)
+	}
+}
+
+func TestRepairOrder(t *testing.T) {
+	ordered := map[string]bool{"a": true}
+	routes := [][]Stop{{
+		{Task: "a", Index: 2}, {Task: "b", Index: 0}, {Task: "a", Index: 0}, {Task: "a", Index: 1},
+	}}
+	repairOrder(routes, ordered)
+	// Slots 0, 2, 3 held task a; after repair they hold indices 0, 1, 2.
+	got := []int{routes[0][0].Index, routes[0][2].Index, routes[0][3].Index}
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("repair = %v", got)
+	}
+	if routes[0][1].Task != "b" {
+		t.Fatal("repair disturbed other tasks")
+	}
+}
+
+func TestMaxTasksPerRoute(t *testing.T) {
+	// The prototype supports three simultaneous virtual drones; the planner
+	// must not put more than three distinct tasks on one flight.
+	cfg := DefaultConfig(base)
+	cfg.MaxTasksPerRoute = 3
+	var tasks []Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, Task{
+			ID:        fmt.Sprintf("vd%d", i),
+			Waypoints: []geo.Waypoint{wpAt(float64(60+30*i), float64(-20*i))},
+			EnergyJ:   5000, DurationS: 60,
+		})
+	}
+	plan, err := cfg.Plan(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(cfg, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Routes) < 2 {
+		t.Fatalf("routes = %d, want capacity-driven split", len(plan.Routes))
+	}
+	for i, r := range plan.Routes {
+		if n := distinctTasks(r.Stops); n > 3 {
+			t.Fatalf("route %d carries %d tasks", i, n)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package rtos simulates the real-time scheduling behaviour of the two
+// kernel configurations the paper evaluates on the Raspberry Pi 3:
+// PREEMPT (Navio2's minimally accepted real-time support) and PREEMPT_RT
+// (AnDrone's default, an almost fully preemptible kernel).
+//
+// The model is mechanistic rather than a replay: a highest-priority
+// real-time task (cyclictest, configured the same way AnDrone runs
+// ArduPilot — memory locked, top priority) arms a timer and measures wakeup
+// latency. Latency is the sum of base scheduling/IRQ overhead and, when the
+// wake lands while a CPU is inside a non-preemptible kernel section, the
+// residual length of that section. PREEMPT disallows kernel preemption when
+// local interrupts are disabled, so under load its sections stretch to many
+// milliseconds; PREEMPT_RT converts nearly everything to preemptible
+// context, leaving only short raw-spinlock sections. Section frequency and
+// length grow with workload (idle → PassMark in virtual drones → host-level
+// stress + iperf), which is what Figure 11 plots.
+package rtos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Kernel selects the kernel preemption model.
+type Kernel int
+
+// Kernel configurations evaluated in the paper.
+const (
+	Preempt   Kernel = iota // CONFIG_PREEMPT: preemption off while IRQs disabled
+	PreemptRT               // PREEMPT_RT patches: almost fully preemptible
+)
+
+func (k Kernel) String() string {
+	if k == PreemptRT {
+		return "PREEMPT_RT"
+	}
+	return "PREEMPT"
+}
+
+// Workload is the background load the latency test runs against.
+type Workload int
+
+// Workloads from §6.2.
+const (
+	// Idle: otherwise idle system.
+	Idle Workload = iota
+	// PassMark: three virtual drones — one idle, one looping PassMark, one
+	// running iperf.
+	PassMark
+	// Stress: host-level stress (CPU, I/O, memory, disk workers) plus iperf.
+	Stress
+)
+
+func (w Workload) String() string {
+	switch w {
+	case Idle:
+		return "idle"
+	case PassMark:
+		return "passmark"
+	case Stress:
+		return "stress"
+	}
+	return fmt.Sprintf("Workload(%d)", int(w))
+}
+
+// Scenario pairs a kernel configuration with a background workload.
+type Scenario struct {
+	Kernel Kernel
+	Load   Workload
+}
+
+// String renders e.g. "PassMark-RT" in the paper's figure labels.
+func (s Scenario) String() string {
+	name := map[Workload]string{Idle: "Idle", PassMark: "PassMark", Stress: "Stress"}[s.Load]
+	if s.Kernel == PreemptRT {
+		return name + "-RT"
+	}
+	return name
+}
+
+// ArduPilotDeadlineUs is ArduPilot's fast-loop deadline: the loop runs at
+// 400 Hz, requiring wakeup latencies below 2500 microseconds.
+const ArduPilotDeadlineUs = 2500
+
+// params are the mechanistic inputs for one scenario.
+type params struct {
+	baseUs       float64 // deterministic scheduling + IRQ path
+	jitterUs     float64 // mean of exponential jitter
+	sectionProb  float64 // probability a wake lands inside a non-preemptible section
+	sectionMinUs float64 // bounded-Pareto section length, lower
+	sectionMaxUs float64 // bounded-Pareto section length, upper
+	sectionAlpha float64 // Pareto tail index (lower = heavier tail)
+}
+
+// scenarioParams calibrates the model to the prototype's measurements:
+// PREEMPT max latencies of ~1.3/14.5/17.8 ms and averages of 17/44/162 us
+// for idle/PassMark/stress; PREEMPT_RT maxes of ~103/382/340 us and
+// averages of 10/12/16 us.
+func scenarioParams(s Scenario) params {
+	switch s.Kernel {
+	case PreemptRT:
+		switch s.Load {
+		case Idle:
+			return params{baseUs: 8, jitterUs: 2, sectionProb: 0.002, sectionMinUs: 10, sectionMaxUs: 100, sectionAlpha: 1.5}
+		case PassMark:
+			return params{baseUs: 9, jitterUs: 3, sectionProb: 0.012, sectionMinUs: 15, sectionMaxUs: 375, sectionAlpha: 1.3}
+		default: // Stress
+			return params{baseUs: 12, jitterUs: 4, sectionProb: 0.025, sectionMinUs: 15, sectionMaxUs: 330, sectionAlpha: 1.3}
+		}
+	default: // Preempt
+		switch s.Load {
+		case Idle:
+			return params{baseUs: 12, jitterUs: 5, sectionProb: 0.004, sectionMinUs: 40, sectionMaxUs: 1290, sectionAlpha: 1.4}
+		case PassMark:
+			return params{baseUs: 14, jitterUs: 8, sectionProb: 0.06, sectionMinUs: 60, sectionMaxUs: 14400, sectionAlpha: 1.25}
+		default: // Stress
+			return params{baseUs: 20, jitterUs: 15, sectionProb: 0.28, sectionMinUs: 200, sectionMaxUs: 17700, sectionAlpha: 1.02}
+		}
+	}
+}
+
+// Histogram accumulates latency samples in logarithmic buckets, the form
+// Figure 11 plots (number of samples vs latency, log-log).
+type Histogram struct {
+	counts []uint64 // bucket i covers [10^(i/bucketsPerDecade), ...)
+	n      uint64
+	sumUs  float64
+	maxUs  float64
+	minUs  float64
+}
+
+const bucketsPerDecade = 10
+
+// NewHistogram creates an empty latency histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, 6*bucketsPerDecade), minUs: math.Inf(1)}
+}
+
+func bucketFor(us float64) int {
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Log10(us) * bucketsPerDecade)
+	if b >= 6*bucketsPerDecade {
+		b = 6*bucketsPerDecade - 1
+	}
+	return b
+}
+
+// Add records one latency sample in microseconds.
+func (h *Histogram) Add(us float64) {
+	h.counts[bucketFor(us)]++
+	h.n++
+	h.sumUs += us
+	if us > h.maxUs {
+		h.maxUs = us
+	}
+	if us < h.minUs {
+		h.minUs = us
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// AvgUs returns the mean latency.
+func (h *Histogram) AvgUs() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sumUs / float64(h.n)
+}
+
+// MaxUs returns the maximum latency observed.
+func (h *Histogram) MaxUs() float64 { return h.maxUs }
+
+// MinUs returns the minimum latency observed (0 if empty).
+func (h *Histogram) MinUs() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.minUs
+}
+
+// Percentile returns the latency at the given percentile (0-100) using the
+// upper edge of the containing bucket.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return math.Pow(10, float64(i+1)/bucketsPerDecade)
+		}
+	}
+	return h.maxUs
+}
+
+// Exceeds returns how many samples exceeded the deadline.
+func (h *Histogram) Exceeds(deadlineUs float64) uint64 {
+	var total uint64
+	start := bucketFor(deadlineUs)
+	for i := start; i < len(h.counts); i++ {
+		total += h.counts[i]
+	}
+	return total
+}
+
+// BucketCount is one histogram point for plotting.
+type BucketCount struct {
+	LatencyUs float64 // bucket upper edge
+	Count     uint64
+}
+
+// Series returns the non-empty buckets, the Figure 11 data series.
+func (h *Histogram) Series() []BucketCount {
+	var out []BucketCount
+	for i, c := range h.counts {
+		if c > 0 {
+			out = append(out, BucketCount{LatencyUs: math.Pow(10, float64(i+1)/bucketsPerDecade), Count: c})
+		}
+	}
+	return out
+}
+
+// Sampler draws successive wakeup latencies for a scenario, for callers
+// that couple scheduling latency into another simulation (e.g. skipping
+// flight-controller cycles whose wakeup overran the loop period).
+type Sampler struct {
+	p params
+	r *rng
+}
+
+// NewSampler creates a deterministic latency sampler for the scenario.
+func NewSampler(sc Scenario, seed string) *Sampler {
+	return &Sampler{p: scenarioParams(sc), r: newRNG(sc.String() + "/sampler/" + seed)}
+}
+
+// Next returns one wakeup latency in microseconds.
+func (s *Sampler) Next() float64 { return sampleLatency(s.p, s.r) }
+
+// RunCyclictest measures wakeup latency for loops timer expirations under
+// the scenario, the way §6.2 runs cyclictest (locked memory, highest
+// real-time priority, 100 million loops on hardware; fewer are statistically
+// sufficient for the simulation).
+func RunCyclictest(sc Scenario, loops int, seed string) *Histogram {
+	p := scenarioParams(sc)
+	r := newRNG(sc.String() + "/" + seed)
+	h := NewHistogram()
+	for i := 0; i < loops; i++ {
+		h.Add(sampleLatency(p, r))
+	}
+	return h
+}
+
+// sampleLatency draws one wakeup latency in microseconds.
+func sampleLatency(p params, r *rng) float64 {
+	lat := p.baseUs + r.exp(p.jitterUs)
+	if r.uniform() < p.sectionProb {
+		// The wake landed inside a non-preemptible section: wait out the
+		// residual. Residual observed by a random arrival is uniform over
+		// the section's length.
+		d := r.boundedPareto(p.sectionMinUs, p.sectionMaxUs, p.sectionAlpha)
+		lat += r.uniform() * d
+	}
+	return lat
+}
+
+// --------------------------------------------------------------------------
+
+type rng struct{ state uint64 }
+
+func newRNG(seed string) *rng {
+	h := fnv.New64a()
+	h.Write([]byte(seed))
+	s := h.Sum64()
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: s}
+}
+
+func (r *rng) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state
+}
+
+func (r *rng) uniform() float64 { return (float64(r.next()>>11) + 0.5) / (1 << 53) }
+
+func (r *rng) exp(mean float64) float64 { return -mean * math.Log(r.uniform()) }
+
+// boundedPareto draws from a Pareto distribution truncated to [lo, hi].
+func (r *rng) boundedPareto(lo, hi, alpha float64) float64 {
+	u := r.uniform()
+	la, ha := math.Pow(lo, alpha), math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}

@@ -1,0 +1,315 @@
+// Package sdk implements the AnDrone SDK that apps use to interact with
+// AnDrone (paper §5): the WaypointListener callback class delivering
+// waypoint, allotment, geofence, and continuous-device events; methods to
+// signal waypoint completion, locate the virtual flight controller, mark
+// files for upload to cloud storage, and query remaining energy/time
+// allotments; and the AnDrone XML manifest declaring the device permissions
+// (waypoint or continuous) and user arguments an app requires. The same
+// functionality is available to advanced end users via a command-line
+// utility (cmd/androne-vdc's sdk subcommands).
+package sdk
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sync"
+
+	"androne/internal/geo"
+)
+
+// WaypointListener is the callback class apps register to be notified of
+// AnDrone events (paper Figure 8).
+type WaypointListener interface {
+	// WaypointActive: the drone has arrived at the waypoint; flight control
+	// and waypoint devices are available.
+	WaypointActive(wp geo.Waypoint)
+	// WaypointInactive: control and waypoint-device access are about to be
+	// removed and the drone is moving on.
+	WaypointInactive(wp geo.Waypoint)
+	// LowEnergyWarning: the allotted energy is running low (joules left).
+	LowEnergyWarning(remainingJ int)
+	// LowTimeWarning: the allotted time is running low (seconds left).
+	LowTimeWarning(remainingS int)
+	// GeofenceBreached: the geofence was breached; control will return via
+	// a subsequent WaypointActive.
+	GeofenceBreached()
+	// SuspendContinuousDevices: another party's waypoint is being visited;
+	// device access must be suspended.
+	SuspendContinuousDevices()
+	// ResumeContinuousDevices: the other party is finished; access resumes.
+	ResumeContinuousDevices()
+}
+
+// ListenerFuncs adapts functions to WaypointListener; nil fields are no-ops.
+type ListenerFuncs struct {
+	Active    func(geo.Waypoint)
+	Inactive  func(geo.Waypoint)
+	LowEnergy func(int)
+	LowTime   func(int)
+	Breached  func()
+	Suspend   func()
+	Resume    func()
+}
+
+// WaypointActive implements WaypointListener.
+func (l ListenerFuncs) WaypointActive(wp geo.Waypoint) {
+	if l.Active != nil {
+		l.Active(wp)
+	}
+}
+
+// WaypointInactive implements WaypointListener.
+func (l ListenerFuncs) WaypointInactive(wp geo.Waypoint) {
+	if l.Inactive != nil {
+		l.Inactive(wp)
+	}
+}
+
+// LowEnergyWarning implements WaypointListener.
+func (l ListenerFuncs) LowEnergyWarning(j int) {
+	if l.LowEnergy != nil {
+		l.LowEnergy(j)
+	}
+}
+
+// LowTimeWarning implements WaypointListener.
+func (l ListenerFuncs) LowTimeWarning(s int) {
+	if l.LowTime != nil {
+		l.LowTime(s)
+	}
+}
+
+// GeofenceBreached implements WaypointListener.
+func (l ListenerFuncs) GeofenceBreached() {
+	if l.Breached != nil {
+		l.Breached()
+	}
+}
+
+// SuspendContinuousDevices implements WaypointListener.
+func (l ListenerFuncs) SuspendContinuousDevices() {
+	if l.Suspend != nil {
+		l.Suspend()
+	}
+}
+
+// ResumeContinuousDevices implements WaypointListener.
+func (l ListenerFuncs) ResumeContinuousDevices() {
+	if l.Resume != nil {
+		l.Resume()
+	}
+}
+
+// Host is the VDC-side interface backing the SDK (implemented by
+// core.VDC). The app package name scopes every call.
+type Host interface {
+	// WaypointCompleted signals the app has finished its task here.
+	WaypointCompleted(app string)
+	// FlightControllerAddr returns the VFC endpoint for the app's virtual
+	// drone.
+	FlightControllerAddr(app string) string
+	// MarkFileForUser queues a container path for upload to cloud storage.
+	MarkFileForUser(app, path string) error
+	// AllottedEnergyLeft returns remaining joules.
+	AllottedEnergyLeft(app string) int
+	// AllottedTimeLeft returns remaining seconds.
+	AllottedTimeLeft(app string) int
+}
+
+// SDK is the per-app AnDrone SDK instance (paper Figure 7).
+type SDK struct {
+	host Host
+	app  string
+
+	mu        sync.Mutex
+	listeners []WaypointListener
+}
+
+// New creates an SDK for the app backed by the host.
+func New(host Host, app string) *SDK {
+	return &SDK{host: host, app: app}
+}
+
+// App returns the owning app's package name.
+func (s *SDK) App() string { return s.app }
+
+// RegisterWaypointListener registers a callback listener.
+func (s *SDK) RegisterWaypointListener(l WaypointListener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.listeners = append(s.listeners, l)
+}
+
+// WaypointCompleted indicates the app has finished its task at the current
+// waypoint.
+func (s *SDK) WaypointCompleted() { s.host.WaypointCompleted(s.app) }
+
+// GetFlightControllerIP returns the virtual flight controller endpoint.
+func (s *SDK) GetFlightControllerIP() string { return s.host.FlightControllerAddr(s.app) }
+
+// MarkFileForUser marks a file to be made available to the user in cloud
+// storage after the flight.
+func (s *SDK) MarkFileForUser(path string) error { return s.host.MarkFileForUser(s.app, path) }
+
+// GetAllottedEnergyLeft returns the remaining energy allotment in joules.
+func (s *SDK) GetAllottedEnergyLeft() int { return s.host.AllottedEnergyLeft(s.app) }
+
+// GetAllottedTimeLeft returns the remaining time allotment in seconds.
+func (s *SDK) GetAllottedTimeLeft() int { return s.host.AllottedTimeLeft(s.app) }
+
+// Event identifies an SDK callback for delivery.
+type Event struct {
+	Kind      EventKind
+	Waypoint  geo.Waypoint
+	Remaining int
+}
+
+// EventKind enumerates WaypointListener callbacks.
+type EventKind int
+
+// Event kinds.
+const (
+	EventWaypointActive EventKind = iota
+	EventWaypointInactive
+	EventLowEnergy
+	EventLowTime
+	EventGeofenceBreached
+	EventSuspendContinuous
+	EventResumeContinuous
+)
+
+// Deliver fans an event out to all registered listeners; the VDC calls this.
+func (s *SDK) Deliver(e Event) {
+	s.mu.Lock()
+	listeners := append([]WaypointListener(nil), s.listeners...)
+	s.mu.Unlock()
+	for _, l := range listeners {
+		switch e.Kind {
+		case EventWaypointActive:
+			l.WaypointActive(e.Waypoint)
+		case EventWaypointInactive:
+			l.WaypointInactive(e.Waypoint)
+		case EventLowEnergy:
+			l.LowEnergyWarning(e.Remaining)
+		case EventLowTime:
+			l.LowTimeWarning(e.Remaining)
+		case EventGeofenceBreached:
+			l.GeofenceBreached()
+		case EventSuspendContinuous:
+			l.SuspendContinuousDevices()
+		case EventResumeContinuous:
+			l.ResumeContinuousDevices()
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// AnDrone manifest
+
+// Access types for device permission requests.
+const (
+	// AccessWaypoint grants a device only while operating at waypoints.
+	AccessWaypoint = "waypoint"
+	// AccessContinuous grants a device between waypoints too (subject to
+	// suspension at other parties' waypoints).
+	AccessContinuous = "continuous"
+)
+
+// FlightControlDevice is the pseudo-device name for flight control; it can
+// only be requested with waypoint access.
+const FlightControlDevice = "flight-control"
+
+// Manifest is the AnDrone XML manifest every AnDrone app must include,
+// declaring requested device permissions and expected user arguments. The
+// portal uses it to prompt for arguments; the flight planner uses it to
+// avoid device conflicts among virtual drones.
+type Manifest struct {
+	XMLName     xml.Name         `xml:"androne-manifest"`
+	Package     string           `xml:"package,attr"`
+	Permissions []UsesPermission `xml:"uses-permission"`
+	Arguments   []Argument       `xml:"argument"`
+}
+
+// UsesPermission requests a device with an access type.
+type UsesPermission struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+// Argument declares a user-supplied app argument.
+type Argument struct {
+	Name     string `xml:"name,attr"`
+	Type     string `xml:"type,attr"`
+	Required bool   `xml:"required,attr"`
+}
+
+// Manifest errors.
+var (
+	ErrNoPackage        = errors.New("sdk: manifest missing package")
+	ErrBadAccessType    = errors.New("sdk: permission type must be waypoint or continuous")
+	ErrFlightContinuous = errors.New("sdk: flight-control can only be a waypoint device")
+)
+
+// ParseManifest parses and validates an AnDrone manifest.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := xml.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("sdk: parsing manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks manifest invariants.
+func (m *Manifest) Validate() error {
+	if m.Package == "" {
+		return ErrNoPackage
+	}
+	for _, p := range m.Permissions {
+		switch p.Type {
+		case AccessWaypoint:
+		case AccessContinuous:
+			if p.Name == FlightControlDevice {
+				return ErrFlightContinuous
+			}
+		default:
+			return fmt.Errorf("%w: %q for %q", ErrBadAccessType, p.Type, p.Name)
+		}
+	}
+	return nil
+}
+
+// WaypointDevices returns the devices requested with waypoint access.
+func (m *Manifest) WaypointDevices() []string { return m.devicesOf(AccessWaypoint) }
+
+// ContinuousDevices returns the devices requested with continuous access.
+func (m *Manifest) ContinuousDevices() []string { return m.devicesOf(AccessContinuous) }
+
+func (m *Manifest) devicesOf(accessType string) []string {
+	var out []string
+	for _, p := range m.Permissions {
+		if p.Type == accessType {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// RequiredArguments returns the arguments the portal must collect.
+func (m *Manifest) RequiredArguments() []Argument {
+	var out []Argument
+	for _, a := range m.Arguments {
+		if a.Required {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Encode serializes the manifest back to XML.
+func (m *Manifest) Encode() ([]byte, error) {
+	return xml.MarshalIndent(m, "", "  ")
+}

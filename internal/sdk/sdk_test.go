@@ -1,0 +1,221 @@
+package sdk
+
+import (
+	"errors"
+	"testing"
+
+	"androne/internal/geo"
+)
+
+// fakeHost records SDK calls.
+type fakeHost struct {
+	completed []string
+	marked    []string
+	energy    int
+	timeLeft  int
+	addr      string
+	markErr   error
+}
+
+func (h *fakeHost) WaypointCompleted(app string)           { h.completed = append(h.completed, app) }
+func (h *fakeHost) FlightControllerAddr(app string) string { return h.addr }
+func (h *fakeHost) MarkFileForUser(app, path string) error {
+	if h.markErr != nil {
+		return h.markErr
+	}
+	h.marked = append(h.marked, app+":"+path)
+	return nil
+}
+func (h *fakeHost) AllottedEnergyLeft(app string) int { return h.energy }
+func (h *fakeHost) AllottedTimeLeft(app string) int   { return h.timeLeft }
+
+func TestSDKMethods(t *testing.T) {
+	h := &fakeHost{energy: 30000, timeLeft: 450, addr: "10.8.0.3:5760"}
+	s := New(h, "com.example.survey")
+
+	if s.App() != "com.example.survey" {
+		t.Fatalf("app = %q", s.App())
+	}
+	s.WaypointCompleted()
+	if len(h.completed) != 1 || h.completed[0] != "com.example.survey" {
+		t.Fatalf("completed = %v", h.completed)
+	}
+	if got := s.GetFlightControllerIP(); got != "10.8.0.3:5760" {
+		t.Fatalf("fc addr = %q", got)
+	}
+	if err := s.MarkFileForUser("/data/survey.mp4"); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.marked) != 1 {
+		t.Fatalf("marked = %v", h.marked)
+	}
+	if s.GetAllottedEnergyLeft() != 30000 || s.GetAllottedTimeLeft() != 450 {
+		t.Fatal("allotments wrong")
+	}
+	h.markErr = errors.New("no such file")
+	if err := s.MarkFileForUser("/nope"); err == nil {
+		t.Fatal("mark error swallowed")
+	}
+}
+
+type recordingListener struct {
+	events []string
+	lastWP geo.Waypoint
+	lastN  int
+}
+
+func (r *recordingListener) WaypointActive(wp geo.Waypoint) {
+	r.events = append(r.events, "active")
+	r.lastWP = wp
+}
+func (r *recordingListener) WaypointInactive(wp geo.Waypoint) {
+	r.events = append(r.events, "inactive")
+}
+func (r *recordingListener) LowEnergyWarning(j int) {
+	r.events = append(r.events, "low-energy")
+	r.lastN = j
+}
+func (r *recordingListener) LowTimeWarning(s int) {
+	r.events = append(r.events, "low-time")
+	r.lastN = s
+}
+func (r *recordingListener) GeofenceBreached()         { r.events = append(r.events, "breached") }
+func (r *recordingListener) SuspendContinuousDevices() { r.events = append(r.events, "suspend") }
+func (r *recordingListener) ResumeContinuousDevices()  { r.events = append(r.events, "resume") }
+
+func TestEventDelivery(t *testing.T) {
+	s := New(&fakeHost{}, "app")
+	l := &recordingListener{}
+	s.RegisterWaypointListener(l)
+
+	wp := geo.Waypoint{Position: geo.Position{LatLon: geo.LatLon{Lat: 43.6, Lon: -85.8}, Alt: 15}, MaxRadius: 30}
+	s.Deliver(Event{Kind: EventWaypointActive, Waypoint: wp})
+	s.Deliver(Event{Kind: EventLowEnergy, Remaining: 5000})
+	s.Deliver(Event{Kind: EventGeofenceBreached})
+	s.Deliver(Event{Kind: EventSuspendContinuous})
+	s.Deliver(Event{Kind: EventResumeContinuous})
+	s.Deliver(Event{Kind: EventLowTime, Remaining: 60})
+	s.Deliver(Event{Kind: EventWaypointInactive, Waypoint: wp})
+
+	want := []string{"active", "low-energy", "breached", "suspend", "resume", "low-time", "inactive"}
+	if len(l.events) != len(want) {
+		t.Fatalf("events = %v", l.events)
+	}
+	for i := range want {
+		if l.events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", l.events, want)
+		}
+	}
+	if l.lastWP != wp {
+		t.Fatalf("waypoint = %v", l.lastWP)
+	}
+	if l.lastN != 60 {
+		t.Fatalf("remaining = %d", l.lastN)
+	}
+}
+
+func TestMultipleListeners(t *testing.T) {
+	s := New(&fakeHost{}, "app")
+	l1, l2 := &recordingListener{}, &recordingListener{}
+	s.RegisterWaypointListener(l1)
+	s.RegisterWaypointListener(l2)
+	s.Deliver(Event{Kind: EventWaypointActive})
+	if len(l1.events) != 1 || len(l2.events) != 1 {
+		t.Fatal("event not fanned out")
+	}
+}
+
+func TestListenerFuncsNilSafe(t *testing.T) {
+	s := New(&fakeHost{}, "app")
+	s.RegisterWaypointListener(ListenerFuncs{}) // all nil
+	for k := EventWaypointActive; k <= EventResumeContinuous; k++ {
+		s.Deliver(Event{Kind: k}) // must not panic
+	}
+	called := false
+	s.RegisterWaypointListener(ListenerFuncs{Active: func(geo.Waypoint) { called = true }})
+	s.Deliver(Event{Kind: EventWaypointActive})
+	if !called {
+		t.Fatal("func listener not called")
+	}
+}
+
+const surveyManifest = `
+<androne-manifest package="com.example.survey">
+  <uses-permission name="camera" type="waypoint"/>
+  <uses-permission name="flight-control" type="waypoint"/>
+  <uses-permission name="gps" type="continuous"/>
+  <argument name="survey-areas" type="polygon-list" required="true"/>
+  <argument name="video-quality" type="string" required="false"/>
+</androne-manifest>`
+
+func TestParseManifest(t *testing.T) {
+	m, err := ParseManifest([]byte(surveyManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Package != "com.example.survey" {
+		t.Fatalf("package = %q", m.Package)
+	}
+	wd := m.WaypointDevices()
+	if len(wd) != 2 || wd[0] != "camera" || wd[1] != "flight-control" {
+		t.Fatalf("waypoint devices = %v", wd)
+	}
+	cd := m.ContinuousDevices()
+	if len(cd) != 1 || cd[0] != "gps" {
+		t.Fatalf("continuous devices = %v", cd)
+	}
+	req := m.RequiredArguments()
+	if len(req) != 1 || req[0].Name != "survey-areas" {
+		t.Fatalf("required args = %v", req)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m, err := ParseManifest([]byte(surveyManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Package != m.Package || len(m2.Permissions) != len(m.Permissions) || len(m2.Arguments) != len(m.Arguments) {
+		t.Fatalf("round trip lost data: %+v", m2)
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+		err  error
+	}{
+		{
+			"missing package",
+			`<androne-manifest><uses-permission name="camera" type="waypoint"/></androne-manifest>`,
+			ErrNoPackage,
+		},
+		{
+			"bad access type",
+			`<androne-manifest package="a"><uses-permission name="camera" type="sometimes"/></androne-manifest>`,
+			ErrBadAccessType,
+		},
+		{
+			"continuous flight control",
+			`<androne-manifest package="a"><uses-permission name="flight-control" type="continuous"/></androne-manifest>`,
+			ErrFlightContinuous,
+		},
+	}
+	for _, tc := range cases {
+		if _, err := ParseManifest([]byte(tc.xml)); !errors.Is(err, tc.err) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.err)
+		}
+	}
+	if _, err := ParseManifest([]byte("not xml")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

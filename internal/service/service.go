@@ -1,0 +1,317 @@
+// Package service assembles the complete AnDrone drone-as-a-service system:
+// the cloud portal takes virtual drone orders over HTTP, the flight planner
+// allocates them to physical drone flights, the fleet flies the routes with
+// the onboard virtualization stack, flight files land in each user's cloud
+// storage, virtual drones are saved to the VDR, and orders are billed by
+// energy — the whole Figure 4 workflow behind one type.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"androne/internal/apps"
+	"androne/internal/cloud"
+	"androne/internal/core"
+	"androne/internal/energy"
+	"androne/internal/geo"
+	"androne/internal/planner"
+)
+
+// Errors.
+var (
+	ErrNothingToFly = errors.New("service: no scheduled orders")
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Base is the fleet's launch site.
+	Base geo.Position
+	// FleetSize is the number of physical drones.
+	FleetSize int
+	// Rates price energy, storage, and network usage.
+	Rates energy.Rates
+	// Seed makes the simulated fleet deterministic.
+	Seed string
+}
+
+// DefaultConfig returns a single-drone service at the paper's test site.
+func DefaultConfig() Config {
+	return Config{
+		Base:      geo.Position{LatLon: geo.LatLon{Lat: 43.6084298, Lon: -85.8110359}, Alt: 0},
+		FleetSize: 1,
+		Rates:     energy.DefaultRates(),
+		Seed:      "androne-service",
+	}
+}
+
+// Service is the running AnDrone service.
+type Service struct {
+	cfg    Config
+	portal *cloud.Portal
+	apps   *cloud.AppStore
+	files  *cloud.Storage
+	vdr    *cloud.VDR
+	orders *cloud.Orders
+
+	mu    sync.Mutex
+	fleet []*core.Drone
+	bills map[string]energy.Bill      // order id -> bill
+	defs  map[string]*core.Definition // staged definitions by vdrone name
+}
+
+// New boots the service: cloud components, portal, and the physical fleet.
+func New(cfg Config) (*Service, error) {
+	if cfg.FleetSize <= 0 {
+		cfg.FleetSize = 1
+	}
+	s := &Service{
+		cfg:    cfg,
+		apps:   cloud.NewAppStore(),
+		files:  cloud.NewStorage(),
+		vdr:    cloud.NewVDR(),
+		orders: cloud.NewOrders(),
+		bills:  make(map[string]energy.Bill),
+		defs:   make(map[string]*core.Definition),
+	}
+	pcfg := planner.DefaultConfig(cfg.Base)
+	estimate := func(def []byte) (float64, float64, float64, error) {
+		d, err := core.ParseDefinition(def)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		bill := cfg.Rates.Compute(energy.Usage{EnergyJ: d.EnergyAllotted})
+		plan, err := pcfg.Plan([]planner.Task{taskFor("estimate", d)})
+		if err != nil {
+			return bill.EnergyCharge, 0, 0, nil
+		}
+		ws, we, err := plan.OperatingWindow(pcfg, "estimate")
+		if err != nil {
+			return bill.EnergyCharge, 0, 0, nil
+		}
+		return bill.EnergyCharge, ws, we, nil
+	}
+	s.portal = cloud.NewPortal(s.apps, s.files, s.vdr, s.orders,
+		core.ValidateDefinitionJSON, estimate)
+
+	for i := 0; i < cfg.FleetSize; i++ {
+		d, err := core.NewDrone(cfg.Base, fmt.Sprintf("%s/drone-%d", cfg.Seed, i))
+		if err != nil {
+			return nil, err
+		}
+		apps.RegisterAll(d.VDC)
+		s.fleet = append(s.fleet, d)
+	}
+	return s, nil
+}
+
+// Handler returns the portal's HTTP handler.
+func (s *Service) Handler() http.Handler { return s.portal }
+
+// AppStore exposes the app store for seeding.
+func (s *Service) AppStore() *cloud.AppStore { return s.apps }
+
+// Storage exposes user file storage.
+func (s *Service) Storage() *cloud.Storage { return s.files }
+
+// VDR exposes the virtual drone repository.
+func (s *Service) VDR() *cloud.VDR { return s.vdr }
+
+// Orders exposes the order book.
+func (s *Service) Orders() *cloud.Orders { return s.orders }
+
+// Fleet exposes the physical drones (for tests and tooling).
+func (s *Service) Fleet() []*core.Drone { return s.fleet }
+
+// BillFor returns the bill for a completed order.
+func (s *Service) BillFor(orderID string) (energy.Bill, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bills[orderID]
+	return b, ok
+}
+
+func taskFor(id string, d *core.Definition) planner.Task {
+	return planner.Task{
+		ID: id, Waypoints: d.Waypoints,
+		EnergyJ: d.EnergyAllotted, DurationS: d.MaxDuration,
+	}
+}
+
+// ProcessOrders moves pending orders to scheduled: it parses their
+// definitions, creates virtual drones on the fleet (or restores them from
+// the VDR for repeat orders), plans routes, and fills in each order's
+// operating window and access info.
+func (s *Service) ProcessOrders() (*planner.Plan, error) {
+	pending := s.pendingOrders()
+	if len(pending) == 0 {
+		return nil, ErrNothingToFly
+	}
+
+	pcfg := planner.DefaultConfig(s.cfg.Base)
+	pcfg.FleetSize = s.cfg.FleetSize
+	// The prototype's memory supports at most three simultaneous virtual
+	// drones per flight (§6.3).
+	pcfg.MaxTasksPerRoute = 3
+
+	var tasks []planner.Task
+	for _, ord := range pending {
+		def, err := core.ParseDefinition(ord.Definition)
+		if err != nil {
+			return nil, fmt.Errorf("service: order %s: %w", ord.ID, err)
+		}
+		def.Name = ord.Name
+		if def.Owner == "" {
+			def.Owner = ord.User
+		}
+		// Stage the definition; FlyScheduled instantiates it on whichever
+		// drone its route lands on.
+		s.mu.Lock()
+		s.defs[def.Name] = def
+		s.mu.Unlock()
+		tasks = append(tasks, taskFor(def.Name, def))
+	}
+
+	plan, err := pcfg.Plan(tasks)
+	if err != nil {
+		return nil, err
+	}
+	for _, ord := range pending {
+		ws, we, werr := plan.OperatingWindow(pcfg, ord.Name)
+		_ = s.orders.Update(ord.ID, func(o *cloud.Order) {
+			o.Status = cloud.OrderScheduled
+			if werr == nil {
+				o.WindowStartS, o.WindowEndS = ws, we
+			}
+			o.Access = cloud.AccessInfo{
+				VFCAddr: "vfc://" + o.Name + ":5760",
+				SSHAddr: "ssh://" + o.Name + ":22",
+				VPNKey:  fmt.Sprintf("vpn-%s", o.ID),
+			}
+		})
+	}
+	return plan, nil
+}
+
+func (s *Service) pendingOrders() []cloud.Order {
+	var out []cloud.Order
+	for _, ord := range s.orders.List("") {
+		if ord.Status == cloud.OrderPending {
+			out = append(out, ord)
+		}
+	}
+	return out
+}
+
+// FlyScheduled executes the plan across the fleet: each route flies on the
+// drone the planner assigned it to, with virtual drones created on that
+// drone (or restored from the VDR if they flew before — including on a
+// different physical drone, the paper's migration path). Files are
+// offloaded, virtual drones saved to the VDR, orders billed by metered
+// energy plus storage, and marked completed or saved-for-resume. Flights
+// run sequentially (the simulation is single-threaded); the fleet
+// constraint shaped the routes.
+func (s *Service) FlyScheduled(plan *planner.Plan) ([]*core.FlightReport, error) {
+	if plan == nil || len(plan.Routes) == 0 {
+		return nil, ErrNothingToFly
+	}
+	env := &core.CloudEnv{Storage: s.files, VDR: s.vdr}
+
+	for _, ord := range s.orders.List("") {
+		if ord.Status == cloud.OrderScheduled {
+			_ = s.orders.Update(ord.ID, func(o *cloud.Order) { o.Status = cloud.OrderFlying })
+		}
+	}
+
+	var reports []*core.FlightReport
+	for i, route := range plan.Routes {
+		drone := s.fleet[route.Drone%len(s.fleet)]
+		for _, stop := range route.Stops {
+			if _, err := drone.VDC.Get(stop.Task); err == nil {
+				continue
+			}
+			if entry, err := s.vdr.Load(stop.Task); err == nil && !entry.Completed {
+				if _, err := drone.VDC.Restore(entry); err != nil {
+					return reports, fmt.Errorf("service: restoring %s: %w", stop.Task, err)
+				}
+				continue
+			}
+			s.mu.Lock()
+			def := s.defs[stop.Task]
+			s.mu.Unlock()
+			if def == nil {
+				return reports, fmt.Errorf("service: route %d references unknown task %q", i, stop.Task)
+			}
+			if _, err := drone.VDC.Create(def); err != nil {
+				return reports, fmt.Errorf("service: creating %s: %w", stop.Task, err)
+			}
+		}
+		report, err := drone.ExecuteRoute(route, env)
+		if err != nil {
+			return reports, fmt.Errorf("service: route %d: %w", i, err)
+		}
+		reports = append(reports, report)
+	}
+
+	// Settle orders: completion status and bills.
+	byName := make(map[string]*core.VDReport)
+	for _, rep := range reports {
+		for name, vr := range rep.PerDrone {
+			if agg, ok := byName[name]; ok {
+				agg.WaypointsVisited += vr.WaypointsVisited
+				agg.EnergyUsedJ += vr.EnergyUsedJ
+				agg.TimeUsedS += vr.TimeUsedS
+				agg.Files = append(agg.Files, vr.Files...)
+				agg.Completed = vr.Completed
+			} else {
+				cp := *vr
+				byName[name] = &cp
+			}
+		}
+	}
+	for _, ord := range s.orders.List("") {
+		vr, ok := byName[ord.Name]
+		if !ok {
+			continue
+		}
+		status := cloud.OrderSaved
+		if vr.Completed {
+			status = cloud.OrderCompleted
+		}
+		bill := s.cfg.Rates.Compute(energy.Usage{
+			EnergyJ:       vr.EnergyUsedJ,
+			StorageBytes:  s.files.UsageBytes(ord.User),
+			StorageMonths: 1,
+		})
+		s.mu.Lock()
+		s.bills[ord.ID] = bill
+		s.mu.Unlock()
+		_ = s.orders.Update(ord.ID, func(o *cloud.Order) { o.Status = status })
+	}
+	return reports, nil
+}
+
+// Run is the whole service loop once: process pending orders and fly them.
+func (s *Service) Run() ([]*core.FlightReport, error) {
+	plan, err := s.ProcessOrders()
+	if err != nil {
+		return nil, err
+	}
+	return s.FlyScheduled(plan)
+}
+
+// OrderJSON is a convenience for tests and tools: place an order directly.
+func (s *Service) OrderJSON(user, name string, def *core.Definition) (*cloud.Order, error) {
+	raw, err := def.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := core.ValidateDefinitionJSON(raw); err != nil {
+		return nil, err
+	}
+	ord := s.orders.Create(user, cloud.SanitizeName(name), json.RawMessage(raw))
+	return ord, nil
+}
