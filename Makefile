@@ -1,0 +1,34 @@
+# Development entry points. CI (.github/workflows/ci.yml) runs `make check`.
+
+GO ?= go
+
+.PHONY: all build test race vet androne-vet check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Unit tests (tier 1).
+test:
+	$(GO) test ./...
+
+# Full test suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Standard go vet plus the repository's custom analyzer suite.
+vet: androne-vet
+	$(GO) vet ./...
+
+# The androne-specific static-analysis suite: lock discipline, binder
+# namespace isolation, VFC whitelist boundary, service-plane deadlines,
+# timer hygiene. See DESIGN.md "Static analysis & concurrency invariants".
+androne-vet:
+	$(GO) run ./cmd/androne-vet ./...
+
+# Everything CI enforces, in CI's order.
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"androne/internal/apps"
 	"androne/internal/cloud"
@@ -87,7 +88,15 @@ func main() {
 	})
 
 	fmt.Printf("androne-portal: fleet of %d, listening on %s\n", *fleet, *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := srv.ListenAndServe(); err != nil {
 		fmt.Fprintln(os.Stderr, "androne-portal:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,120 @@
+// androne-vet runs the repository's custom static-analysis suite — the
+// AnDrone-specific invariants the compiler cannot check: lock discipline on
+// the flight hot paths (locksafe), Binder namespace isolation (nsguard),
+// the VFC MAVLink whitelist boundary (whitelistguard), deadlines and
+// cancellation in the service plane (ctxtimeout), and timer hygiene in
+// high-rate loops (tickleak).
+//
+// Usage:
+//
+//	androne-vet [flags] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Exit status
+// is 1 if any diagnostic is reported, 2 on operational failure. Individual
+// analyzers are toggled with -<name>=false; a diagnostic is suppressed by a
+// //vet:allow <name> [reason] comment on its source line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"androne/internal/analysis/ctxtimeout"
+	"androne/internal/analysis/framework"
+	"androne/internal/analysis/load"
+	"androne/internal/analysis/locksafe"
+	"androne/internal/analysis/nsguard"
+	"androne/internal/analysis/tickleak"
+	"androne/internal/analysis/whitelistguard"
+)
+
+// suite is every analyzer the driver knows, in report order.
+var suite = []*framework.Analyzer{
+	ctxtimeout.Analyzer,
+	locksafe.Analyzer,
+	nsguard.Analyzer,
+	tickleak.Analyzer,
+	whitelistguard.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	listOnly := flag.Bool("list", false, "list analyzers and exit")
+	enabled := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var active []*framework.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	patterns := flag.Args()
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "androne-vet:", err)
+		return 2
+	}
+	pkgs, err := load.Packages(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "androne-vet:", err)
+		return 2
+	}
+	findings, err := load.Run(pkgs, active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "androne-vet:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		type jsonFinding struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "androne-vet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "androne-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -100,7 +100,11 @@ func main() {
 }
 
 // waitUntil polls cond at 1 ms until true, or returns false if stop closes.
+// A single reused ticker paces the loop; time.After here would allocate a
+// fresh timer every millisecond for the whole wait.
 func waitUntil(cond func() bool, stop <-chan struct{}) bool {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
 	for {
 		if cond() {
 			return true
@@ -108,7 +112,7 @@ func waitUntil(cond func() bool, stop <-chan struct{}) bool {
 		select {
 		case <-stop:
 			return false
-		case <-time.After(time.Millisecond):
+		case <-tick.C:
 		}
 	}
 }

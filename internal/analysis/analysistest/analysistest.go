@@ -1,0 +1,277 @@
+// Package analysistest runs an analyzer over small fixture packages and
+// checks its diagnostics against expectations written in the fixtures —
+// the same convention as golang.org/x/tools/go/analysis/analysistest:
+//
+//	testdata/src/<pkgpath>/*.go
+//
+// where a line expecting diagnostics carries a comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// Every reported diagnostic must match a want on its line and every want
+// must be matched, or the test fails. Fixture packages may import each
+// other (by their path under testdata/src) and the standard library; the
+// androne guard analyzers use fixture packages placed at the real
+// androne/... import paths so their path-based policies apply unchanged.
+//
+// The //vet:allow suppression filter runs exactly as in the androne-vet
+// driver, so fixtures can also assert that suppressed lines stay silent.
+package analysistest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"androne/internal/analysis/framework"
+	"androne/internal/analysis/load"
+)
+
+// Run applies analyzer to each fixture package (a path under
+// testdata/src) and reports mismatches through t.
+func Run(t *testing.T, testdata string, analyzer *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	ld := &loader{
+		src:  src,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*fixturePkg),
+	}
+	ld.stdlib = importer.ForCompiler(ld.fset, "gc", stdlibLookup(t))
+
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("analysistest: loading %s: %v", path, err)
+			continue
+		}
+		check(t, ld.fset, analyzer, pkg)
+	}
+}
+
+// fixturePkg is one type-checked fixture package.
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+	err   error
+}
+
+type loader struct {
+	src    string
+	fset   *token.FileSet
+	stdlib types.Importer
+	pkgs   map[string]*fixturePkg
+}
+
+// Import lets fixture packages import one another; anything not under
+// testdata/src falls through to the compiled standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.src, path)); err == nil {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, pkg.err
+	}
+	pkg := &fixturePkg{path: path}
+	l.pkgs[path] = pkg // pre-insert to fail fast on import cycles
+
+	dir := filepath.Join(l.src, path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err == nil && len(names) == 0 {
+		err = fmt.Errorf("no .go files in %s", dir)
+	}
+	if err != nil {
+		pkg.err = err
+		return pkg, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, perr := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if perr != nil {
+			pkg.err = perr
+			return pkg, perr
+		}
+		pkg.files = append(pkg.files, f)
+	}
+	pkg.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{Importer: l}
+	pkg.types, pkg.err = cfg.Check(path, l.fset, pkg.files, pkg.info)
+	return pkg, pkg.err
+}
+
+// stdlibLookup resolves standard-library export data through the go tool's
+// build cache, which works without network or pre-installed .a files.
+func stdlibLookup(t *testing.T) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		t.Helper()
+		var out, stderr bytes.Buffer
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Stdout = &out
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+		}
+		export := strings.TrimSpace(out.String())
+		if export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(export)
+	}
+}
+
+// expectation is one want regexp awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func check(t *testing.T, fset *token.FileSet, analyzer *framework.Analyzer, pkg *fixturePkg) {
+	t.Helper()
+	expectations := collectWants(t, fset, pkg.files)
+
+	pass := &framework.Pass{
+		Analyzer:  analyzer,
+		Fset:      fset,
+		Files:     pkg.files,
+		Pkg:       pkg.types,
+		TypesInfo: pkg.info,
+	}
+	var findings []load.Finding
+	pass.Report = func(d framework.Diagnostic) {
+		findings = append(findings, load.Finding{
+			Analyzer: analyzer.Name,
+			Pos:      fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+	if err := analyzer.Run(pass); err != nil {
+		t.Errorf("%s: running on %s: %v", analyzer.Name, pkg.path, err)
+		return
+	}
+	findings = load.Filter(findings)
+
+	for _, f := range findings {
+		if !claim(expectations, f) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s",
+				analyzer.Name, f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for _, e := range expectations {
+		if !e.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q",
+				analyzer.Name, e.file, e.line, e.raw)
+		}
+	}
+}
+
+// collectWants parses the `// want "re" ...` comments of every file.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(m[1]) {
+					pattern, err := strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pattern})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted extracts the double- or backtick-quoted segments of a want
+// comment.
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(s) {
+				return out
+			}
+			out = append(out, s[i:j+1])
+			i = j
+		case '`':
+			j := i + 1
+			for j < len(s) && s[j] != '`' {
+				j++
+			}
+			if j >= len(s) {
+				return out
+			}
+			out = append(out, s[i:j+1])
+			i = j
+		}
+	}
+	return out
+}
+
+// claim marks the first unmatched expectation on the finding's line whose
+// regexp matches.
+func claim(expectations []*expectation, f load.Finding) bool {
+	for _, e := range expectations {
+		if !e.matched && e.file == f.Pos.Filename && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package ctxtimeout_test
+
+import (
+	"testing"
+
+	"androne/internal/analysis/analysistest"
+	"androne/internal/analysis/ctxtimeout"
+)
+
+func TestCtxTimeout(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxtimeout.Analyzer,
+		"androne/internal/cloud",
+		"unscoped",
+	)
+}

@@ -1,0 +1,31 @@
+// Package cloud is a fixture at a service-plane import path, so the
+// ctxtimeout analyzer has jurisdiction.
+package cloud
+
+import (
+	"net"
+	"net/http"
+)
+
+// Bad gathers every unbounded-blocking shape the analyzer flags.
+func Bad(addr string) {
+	_ = http.ListenAndServe(addr, nil)    // want `http\.ListenAndServe serves with no timeouts`
+	_, _ = http.Get("http://example.com") // want `http\.Get uses http\.DefaultClient, which has no timeout`
+	_, _ = net.Dial("tcp", addr)          // want `net\.Dial blocks with no deadline`
+
+	srv := &http.Server{Addr: addr} // want `http\.Server without ReadHeaderTimeout or ReadTimeout`
+	_ = srv
+
+	go func() { // want `goroutine has no cancellation or completion path`
+		for {
+			work()
+		}
+	}()
+}
+
+// Suppressed demonstrates a reviewed exception.
+func Suppressed(addr string) {
+	_, _ = net.Dial("tcp", addr) //vet:allow ctxtimeout fixture: documented exception
+}
+
+func work() {}

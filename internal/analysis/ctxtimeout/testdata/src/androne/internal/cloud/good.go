@@ -1,0 +1,38 @@
+package cloud
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Good shows the sanctioned counterparts: deadlines on every blocking call
+// and a coordination mechanism in every goroutine.
+func Good(ctx context.Context, addr string) {
+	srv := &http.Server{Addr: addr, ReadHeaderTimeout: 5 * time.Second}
+	_ = srv.ListenAndServe() // method on a configured Server: fine
+
+	_, _ = net.DialTimeout("tcp", addr, time.Second)
+	var d net.Dialer
+	_, _ = d.DialContext(ctx, "tcp", addr)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Minute):
+		}
+	}()
+
+	results := make(chan int, 1)
+	go func() {
+		results <- 1
+	}()
+}

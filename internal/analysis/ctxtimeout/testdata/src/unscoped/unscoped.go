@@ -1,0 +1,11 @@
+// Package unscoped sits outside the service plane; ctxtimeout must stay
+// silent here even for patterns it would flag in scope.
+package unscoped
+
+import "net/http"
+
+// Serve would be flagged inside internal/cloud, internal/gcs,
+// internal/service, or cmd/.
+func Serve(addr string) {
+	_ = http.ListenAndServe(addr, nil)
+}

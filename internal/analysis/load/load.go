@@ -1,0 +1,261 @@
+// Package load builds type-checked packages for the androne-vet analyzers
+// using only the standard library and the go tool itself: `go list -export
+// -json -deps` supplies file lists and compiled export data for every
+// dependency, the stdlib parser and type checker do the rest. This is the
+// same division of labor as golang.org/x/tools/go/packages, shrunk to what
+// a vet driver needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"androne/internal/analysis/framework"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// ModuleRoot locates the enclosing module root (the directory holding
+// go.mod) starting from dir.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// goList runs `go list -export -json -deps patterns...` in dir and decodes
+// the JSON stream.
+func goList(dir string, patterns []string) (map[string]*listEntry, []string, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	entries := make(map[string]*listEntry)
+	var targets []string
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		entry := e
+		entries[e.ImportPath] = &entry
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e.ImportPath)
+		}
+	}
+	sort.Strings(targets)
+	return entries, targets, nil
+}
+
+// exportImporter satisfies the gc importer's lookup contract from the
+// Export files that `go list -export` produced.
+func exportImporter(fset *token.FileSet, entries map[string]*listEntry) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := entries[path]
+		if !ok || e.Export == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(e.Export)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Packages loads and type-checks the packages matched by patterns (default
+// "./..."), evaluated relative to dir's module root. Test files are not
+// included: androne-vet checks shipped code; tests exercise the analyzers
+// themselves.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, targets, err := goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, entries)
+	var out []*Package
+	for _, path := range targets {
+		e := entries[path]
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typecheck(fset, imp, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, e *listEntry) (*Package, error) {
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{Importer: imp}
+	tpkg, err := cfg.Check(e.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", e.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   e.ImportPath,
+		Dir:       e.Dir,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Finding is one analyzer diagnostic resolved to a position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies each analyzer to each package, returning findings sorted by
+// position with //vet:allow suppressions applied.
+func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &framework.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d framework.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("load: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	findings = Filter(findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// Filter drops findings whose source line carries a matching //vet:allow
+// suppression comment.
+func Filter(findings []Finding) []Finding {
+	lines := make(map[string][]string) // filename -> lines
+	out := findings[:0]
+	for _, f := range findings {
+		src, ok := lines[f.Pos.Filename]
+		if !ok {
+			data, err := os.ReadFile(f.Pos.Filename)
+			if err != nil {
+				data = nil
+			}
+			src = strings.Split(string(data), "\n")
+			lines[f.Pos.Filename] = src
+		}
+		if f.Pos.Line >= 1 && f.Pos.Line <= len(src) && suppresses(src[f.Pos.Line-1], f.Analyzer) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func suppresses(line, analyzer string) bool {
+	i := strings.Index(line, "//vet:allow")
+	if i < 0 {
+		return false
+	}
+	rest := strings.Fields(line[i+len("//vet:allow"):])
+	return len(rest) > 0 && rest[0] == analyzer
+}

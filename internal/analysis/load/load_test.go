@@ -1,0 +1,65 @@
+package load_test
+
+import (
+	"strings"
+	"testing"
+
+	"androne/internal/analysis/ctxtimeout"
+	"androne/internal/analysis/framework"
+	"androne/internal/analysis/load"
+	"androne/internal/analysis/locksafe"
+	"androne/internal/analysis/nsguard"
+	"androne/internal/analysis/tickleak"
+	"androne/internal/analysis/whitelistguard"
+)
+
+// suite mirrors the cmd/androne-vet analyzer set.
+var suite = []*framework.Analyzer{
+	ctxtimeout.Analyzer,
+	locksafe.Analyzer,
+	nsguard.Analyzer,
+	tickleak.Analyzer,
+	whitelistguard.Analyzer,
+}
+
+// TestRepoClean runs the full androne-vet suite over the repository and
+// requires zero findings — the same gate CI applies, enforced from go test
+// so a plain `go test ./...` also catches regressions.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := load.Packages(".")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern resolution is broken", len(pkgs))
+	}
+	findings, err := load.Run(pkgs, suite)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestLoaderTypeInfo spot-checks that loaded packages carry the type
+// information the analyzers rely on.
+func TestLoaderTypeInfo(t *testing.T) {
+	pkgs, err := load.Packages(".", "./internal/flight")
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if !strings.HasSuffix(p.PkgPath, "internal/flight") {
+		t.Fatalf("PkgPath = %q", p.PkgPath)
+	}
+	if len(p.Syntax) == 0 || p.Types == nil || p.TypesInfo == nil {
+		t.Fatal("package missing syntax or type info")
+	}
+	if len(p.TypesInfo.Selections) == 0 {
+		t.Fatal("no selections recorded; interface-dispatch checks would be blind")
+	}
+}

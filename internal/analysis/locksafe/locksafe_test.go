@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"androne/internal/analysis/analysistest"
+	"androne/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "locktest")
+}

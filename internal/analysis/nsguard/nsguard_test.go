@@ -1,0 +1,17 @@
+package nsguard_test
+
+import (
+	"testing"
+
+	"androne/internal/analysis/analysistest"
+	"androne/internal/analysis/nsguard"
+)
+
+func TestNSGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", nsguard.Analyzer,
+		"androne/internal/binder", // the driver itself: exempt
+		"androne/internal/android",
+		"androne/internal/devcon",
+		"nsbad",
+	)
+}

@@ -1,0 +1,29 @@
+// Package android is a known-good fixture: the framework layer is the
+// designated caller of process attachment, context-manager claiming, and
+// the AddService transaction.
+package android
+
+import "androne/internal/binder"
+
+// Boot attaches a process and claims the service manager, as the real
+// framework's instance boot does.
+func Boot(ns *binder.Namespace, pid int) (*binder.Proc, error) {
+	p := ns.Attach(pid)
+	if err := p.BecomeContextManager(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// AddService registers a service through the AddService transaction.
+func AddService(p *binder.Proc, name string) error {
+	_, err := p.Transact(0, binder.CodeAddService, []byte(name))
+	return err
+}
+
+// Ping is an unguarded transaction; any package may transact non-AddService
+// codes through handles it owns.
+func Ping(p *binder.Proc) error {
+	_, err := p.Transact(0, binder.CodePing, nil)
+	return err
+}

@@ -1,0 +1,42 @@
+// Package binder is a fixture standing in for the real binder driver: the
+// nsguard analyzer matches callees by import-path suffix, so this fake at
+// the androne/internal/binder path exercises the same policy table.
+package binder
+
+// Code identifies a transaction.
+type Code int
+
+// Transaction codes.
+const (
+	CodePing       Code = 1
+	CodeAddService Code = 3
+)
+
+// Namespace is one container's binder namespace.
+type Namespace struct{}
+
+// Attach forges a process into this namespace.
+func (*Namespace) Attach(pid int) *Proc { return &Proc{} }
+
+// Proc is a process attached to a namespace.
+type Proc struct{}
+
+// BecomeContextManager claims the namespace's service manager slot.
+func (*Proc) BecomeContextManager() error { return nil }
+
+// PublishToAllNS is the PUBLISH_TO_ALL_NS ioctl.
+func (*Proc) PublishToAllNS(name string) error { return nil }
+
+// PublishToDevCon is the PUBLISH_TO_DEV_CON ioctl.
+func (*Proc) PublishToDevCon(name string) error { return nil }
+
+// Transact performs one binder transaction.
+func (*Proc) Transact(handle int, code Code, data []byte) ([]byte, error) {
+	return nil, nil
+}
+
+// Driver is the binder driver instance.
+type Driver struct{}
+
+// SetDeviceNamespace marks the device container's namespace.
+func (*Driver) SetDeviceNamespace(ns *Namespace) {}

@@ -1,0 +1,14 @@
+// Package devcon is a known-good fixture: the device container owns the
+// publish ioctls and the device-namespace designation.
+package devcon
+
+import "androne/internal/binder"
+
+// PublishServices exports device services to every namespace.
+func PublishServices(d *binder.Driver, p *binder.Proc, ns *binder.Namespace) error {
+	d.SetDeviceNamespace(ns)
+	if err := p.PublishToAllNS("flight"); err != nil {
+		return err
+	}
+	return p.PublishToDevCon("vdcs")
+}

@@ -1,0 +1,83 @@
+// Package ticktest exercises the tickleak analyzer's timer-hygiene checks.
+package ticktest
+
+import "time"
+
+// BadAfterLoop allocates a timer per iteration — at the androne fast-loop
+// rates that is hundreds of live timers per second.
+func BadAfterLoop(ch chan int) {
+	for {
+		select {
+		case <-ch:
+			return
+		case <-time.After(time.Second): // want `time\.After in a loop allocates a new timer every iteration`
+		}
+	}
+}
+
+// BadAfterRange leaks inside range bodies too.
+func BadAfterRange(items []int, ch chan int) {
+	for range items {
+		<-time.After(time.Millisecond) // want `time\.After in a loop`
+		_ = ch
+	}
+}
+
+// BadTick can never stop the underlying ticker.
+func BadTick() {
+	for range time.Tick(time.Second) { // want `time\.Tick leaks`
+	}
+}
+
+// BadNoStop never releases its ticker.
+func BadNoStop(ch chan int) {
+	t := time.NewTicker(time.Second) // want `time\.NewTicker result "t" is never stopped`
+	for {
+		select {
+		case <-ch:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// GoodStopped pairs the ticker with a deferred Stop.
+func GoodStopped(done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// GoodAfterOnce is fine: a single wait allocates a single timer.
+func GoodAfterOnce(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second):
+		return 0
+	}
+}
+
+// GoodInitOnce: the loop Init clause runs once, so an After there is a
+// single allocation.
+func GoodInitOnce(ch chan int) {
+	for deadline := time.After(time.Minute); ; {
+		select {
+		case <-ch:
+			return
+		case <-deadline:
+			return
+		}
+	}
+}
+
+// Suppressed demonstrates a reviewed exception.
+func Suppressed() {
+	_ = time.Tick(time.Second) //vet:allow tickleak fixture: documented exception
+}

@@ -1,0 +1,164 @@
+// Package tickleak flags timer-allocation patterns that leak under
+// AnDrone's high-rate loops. The simulator steps flight control at 400 Hz
+// and examples poll at millisecond granularity; a time.After inside such a
+// loop allocates a timer per iteration that survives until it fires, and an
+// unstopped Ticker is pinned by the runtime forever.
+//
+// Checks:
+//   - time.After called inside a for/range loop: allocate one Timer (or
+//     Ticker) outside the loop and reuse it.
+//   - time.Tick anywhere: the returned ticker can never be stopped.
+//   - time.NewTicker results with no Stop call in the same function.
+package tickleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"androne/internal/analysis/framework"
+)
+
+// Analyzer is the tickleak analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "tickleak",
+	Doc:  "flag per-iteration timer allocation and unstopped tickers",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		var loopDepth int
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				// Init runs once; Cond, Post, and Body run per iteration.
+				if n.Init != nil {
+					ast.Inspect(n.Init, walk)
+				}
+				loopDepth++
+				if n.Cond != nil {
+					ast.Inspect(n.Cond, walk)
+				}
+				if n.Post != nil {
+					ast.Inspect(n.Post, walk)
+				}
+				ast.Inspect(n.Body, walk)
+				loopDepth--
+				return false // children handled above
+			case *ast.RangeStmt:
+				ast.Inspect(n.X, walk) // evaluated once
+				loopDepth++
+				ast.Inspect(n.Body, walk)
+				loopDepth--
+				return false
+			case *ast.CallExpr:
+				checkCall(pass, n, loopDepth > 0)
+			case *ast.AssignStmt:
+				checkTicker(pass, file, n)
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return nil
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr, inLoop bool) {
+	fn := timeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	switch fn.Name() {
+	case "After":
+		if inLoop {
+			pass.Reportf(call.Pos(), "time.After in a loop allocates a new timer every iteration; hoist a time.Timer or time.Ticker out of the loop and reuse it")
+		}
+	case "Tick":
+		pass.Reportf(call.Pos(), "time.Tick leaks: the underlying ticker can never be stopped; use time.NewTicker and defer Stop")
+	}
+}
+
+// checkTicker flags `t := time.NewTicker(...)` with no t.Stop() anywhere in
+// the enclosing function.
+func checkTicker(pass *framework.Pass, file *ast.File, assign *ast.AssignStmt) {
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := timeFunc(pass, call)
+		if fn == nil || fn.Name() != "NewTicker" || i >= len(assign.Lhs) {
+			continue
+		}
+		id, ok := assign.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		scope := enclosingFuncBody(file, assign.Pos())
+		if scope == nil || !callsStop(pass, scope, obj) {
+			pass.Reportf(call.Pos(), "time.NewTicker result %q is never stopped in this function; tickers leak until Stop is called", id.Name)
+		}
+	}
+}
+
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil && n.Body.Pos() <= pos && pos < n.Body.End() {
+				body = n.Body
+			}
+		case *ast.FuncLit:
+			if n.Body.Pos() <= pos && pos < n.Body.End() {
+				body = n.Body
+			}
+		}
+		return true
+	})
+	return body
+}
+
+func callsStop(pass *framework.Pass, body *ast.BlockStmt, ticker types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Stop" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ticker {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// timeFunc returns the time-package function a call resolves to, or nil.
+func timeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,12 @@
+package tickleak_test
+
+import (
+	"testing"
+
+	"androne/internal/analysis/analysistest"
+	"androne/internal/analysis/tickleak"
+)
+
+func TestTickleak(t *testing.T) {
+	analysistest.Run(t, "testdata", tickleak.Analyzer, "ticktest")
+}

@@ -1,0 +1,11 @@
+// Package core is the known-good fixture for the master channel: mission
+// execution is provider code and may take the unrestricted handle.
+package core
+
+import "androne/internal/mavproxy"
+
+// Fly drives the drone over the master channel.
+func Fly(p *mavproxy.Proxy, msg ...interface{}) {
+	m := p.Master()
+	_ = m
+}

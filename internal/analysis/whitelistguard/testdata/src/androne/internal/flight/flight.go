@@ -1,0 +1,15 @@
+// Package flight is a fixture standing in for the flight controller; the
+// whitelistguard analyzer resolves its methods by import-path suffix and
+// receiver type name.
+package flight
+
+// Message is a MAVLink message.
+type Message interface {
+	ID() uint8
+}
+
+// Controller is the flight controller.
+type Controller struct{}
+
+// HandleMessage is the raw MAVLink dispatch entry point.
+func (c *Controller) HandleMessage(m Message) []Message { return nil }

@@ -1,0 +1,30 @@
+// Package wlbad is the known-bad fixture: tenant-side code reaching the
+// flight controller without the whitelist check.
+package wlbad
+
+import (
+	"androne/internal/flight"
+	"androne/internal/mavproxy"
+)
+
+// Direct dispatch from outside mavproxy bypasses the whitelist.
+func Direct(fc *flight.Controller, msg flight.Message) []flight.Message {
+	return fc.HandleMessage(msg) // want `bypasses the VFC whitelist`
+}
+
+// Captured method values escape the boundary: the value can be invoked
+// later from anywhere with no check.
+func Capture(fc *flight.Controller) func(flight.Message) []flight.Message {
+	h := fc.HandleMessage // want `captured as a method value escapes the VFC whitelist boundary`
+	return h
+}
+
+// Tenants may not take the master channel.
+func TakeMaster(p *mavproxy.Proxy) *mavproxy.Master {
+	return p.Master() // want `Proxy\.Master hands out the unrestricted MAVLink channel`
+}
+
+// Suppressed demonstrates a reviewed exception.
+func Suppressed(fc *flight.Controller, msg flight.Message) {
+	fc.HandleMessage(msg) //vet:allow whitelistguard fixture: documented exception
+}

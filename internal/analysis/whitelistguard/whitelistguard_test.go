@@ -1,0 +1,17 @@
+package whitelistguard_test
+
+import (
+	"testing"
+
+	"androne/internal/analysis/analysistest"
+	"androne/internal/analysis/whitelistguard"
+)
+
+func TestWhitelistGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", whitelistguard.Analyzer,
+		"androne/internal/flight", // the controller itself: exempt
+		"androne/internal/mavproxy",
+		"androne/internal/core",
+		"wlbad",
+	)
+}

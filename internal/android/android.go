@@ -419,15 +419,19 @@ func (a *App) Instance() *Instance { return a.inst }
 
 func (a *App) kill() {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	if a.state != AppRunning {
+		a.mu.Unlock()
 		return
 	}
-	if a.client != nil {
-		a.client.proc.Exit()
-	}
+	client := a.client
 	a.client = nil
 	a.state = AppKilled
+	a.mu.Unlock()
+	// Exit fires binder death-link callbacks, which may call back into this
+	// app or its instance; never hold a.mu across it.
+	if client != nil {
+		client.proc.Exit()
+	}
 }
 
 // ---------------------------------------------------------------------------

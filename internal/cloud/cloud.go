@@ -249,6 +249,10 @@ type Order struct {
 	Access       AccessInfo `json:"access"`
 	// EstimatedCharge previews the energy bill for the allotment.
 	EstimatedCharge float64 `json:"estimated-charge"`
+
+	// gen counts committed mutations; Update uses it to detect conflicting
+	// writers without holding the lock across the caller's function.
+	gen uint64
 }
 
 // Orders tracks portal orders.
@@ -263,7 +267,8 @@ func NewOrders() *Orders {
 	return &Orders{orders: make(map[string]*Order)}
 }
 
-// Create registers a new pending order and assigns its id.
+// Create registers a new pending order and assigns its id. An empty name
+// defaults to the id. The returned Order is the caller's private copy.
 func (o *Orders) Create(user, name string, def json.RawMessage) *Order {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -275,11 +280,16 @@ func (o *Orders) Create(user, name string, def json.RawMessage) *Order {
 		Definition: append(json.RawMessage(nil), def...),
 		Status:     OrderPending,
 	}
+	if ord.Name == "" {
+		ord.Name = ord.ID
+	}
 	o.orders[ord.ID] = ord
-	return ord
+	cp := *ord
+	return &cp
 }
 
-// Get retrieves an order.
+// Get retrieves a snapshot of an order. Returning a copy keeps readers
+// (e.g. handlers serializing the order) race-free against Update.
 func (o *Orders) Get(id string) (*Order, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -287,19 +297,43 @@ func (o *Orders) Get(id string) (*Order, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: order %q", ErrNotFound, id)
 	}
-	return ord, nil
+	cp := *ord
+	return &cp, nil
 }
 
-// Update applies fn to an order under the lock.
+// Update applies fn to an order atomically. fn runs on a private copy with
+// no lock held — it may not observe other orders mid-change, and it cannot
+// deadlock by calling back into Orders. The mutation commits only if no
+// other writer got there first; on conflict the read-modify-write retries
+// with a fresh copy.
 func (o *Orders) Update(id string, fn func(*Order)) error {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	ord, ok := o.orders[id]
-	if !ok {
-		return fmt.Errorf("%w: order %q", ErrNotFound, id)
+	for {
+		o.mu.Lock()
+		ord, ok := o.orders[id]
+		if !ok {
+			o.mu.Unlock()
+			return fmt.Errorf("%w: order %q", ErrNotFound, id)
+		}
+		cp := *ord
+		o.mu.Unlock()
+
+		fn(&cp)
+
+		o.mu.Lock()
+		cur, ok := o.orders[id]
+		if !ok {
+			o.mu.Unlock()
+			return fmt.Errorf("%w: order %q", ErrNotFound, id)
+		}
+		if cur.gen != cp.gen {
+			o.mu.Unlock()
+			continue
+		}
+		cp.gen++
+		*cur = cp
+		o.mu.Unlock()
+		return nil
 	}
-	fn(ord)
-	return nil
 }
 
 // List returns orders sorted by id, optionally filtered by user ("" = all).

@@ -131,9 +131,6 @@ func (p *Portal) createOrder(w http.ResponseWriter, r *http.Request) {
 		name = ""
 	}
 	ord := p.Orders.Create(req.User, name, req.Definition)
-	if ord.Name == "" {
-		ord.Name = ord.ID
-	}
 	if p.Estimate != nil {
 		if charge, ws, we, err := p.Estimate(req.Definition); err == nil {
 			_ = p.Orders.Update(ord.ID, func(o *Order) {

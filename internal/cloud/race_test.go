@@ -1,0 +1,79 @@
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestOrdersConcurrentAccess hammers the order book from many goroutines.
+// Under -race this verifies that Get/List hand out snapshots (readers never
+// share memory with writers) and that Update's optimistic commit protocol
+// is atomic: every one of the N increments below must land.
+func TestOrdersConcurrentAccess(t *testing.T) {
+	o := NewOrders()
+	ord := o.Create("alice", "stress", json.RawMessage(`{}`))
+
+	const writers = 8
+	const perWriter = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := o.Update(ord.ID, func(u *Order) { u.EstimatedCharge++ }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Readers overlap the writers; the race detector checks they never
+	// observe shared mutable state.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if got, err := o.Get(ord.ID); err != nil || got.User != "alice" {
+					t.Errorf("Get: %v %v", got, err)
+					return
+				}
+				o.List("alice")
+				o.Create("bob", fmt.Sprintf("b-%d-%d", r, i), json.RawMessage(`{}`))
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	got, err := o.Get(ord.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(writers * perWriter); got.EstimatedCharge != want {
+		t.Fatalf("EstimatedCharge = %v, want %v (lost updates)", got.EstimatedCharge, want)
+	}
+}
+
+// TestOrdersSnapshotIsolation checks that mutating a returned order does
+// not leak into the store.
+func TestOrdersSnapshotIsolation(t *testing.T) {
+	o := NewOrders()
+	ord := o.Create("alice", "iso", json.RawMessage(`{}`))
+	ord.Status = OrderFlying // caller scribbles on its copy
+
+	got, err := o.Get(ord.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != OrderPending {
+		t.Fatalf("store saw caller's scribble: %v", got.Status)
+	}
+	got.Status = OrderCompleted
+	again, _ := o.Get(ord.ID)
+	if again.Status != OrderPending {
+		t.Fatalf("Get returned shared memory: %v", again.Status)
+	}
+}

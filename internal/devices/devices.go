@@ -83,11 +83,14 @@ func NewRegistry() *Registry {
 	return &Registry{devices: make(map[string]Device), opened: make(map[string]string)}
 }
 
-// Add registers a device under its name.
+// Add registers a device under its name. The device's identity methods are
+// consulted before taking the lock: Device is an interface, and the
+// registry must never call out through one while holding r.mu.
 func (r *Registry) Add(d Device) {
+	name := d.Name()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.devices[d.Name()] = d
+	r.devices[name] = d
 }
 
 // Open acquires exclusive access to a device for holder.
@@ -137,14 +140,25 @@ func (r *Registry) List() []string {
 	return out
 }
 
-// ByKind returns the names of devices of the given kind, sorted.
+// ByKind returns the names of devices of the given kind, sorted. The
+// device set is snapshotted under the lock and the Kind calls — arbitrary
+// interface code — happen after release.
 func (r *Registry) ByKind(k Kind) []string {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	var out []string
+	type entry struct {
+		name string
+		dev  Device
+	}
+	snapshot := make([]entry, 0, len(r.devices))
 	for n, d := range r.devices {
-		if d.Kind() == k {
-			out = append(out, n)
+		snapshot = append(snapshot, entry{n, d})
+	}
+	r.mu.Unlock()
+
+	var out []string
+	for _, e := range snapshot {
+		if e.dev.Kind() == k {
+			out = append(out, e.name)
 		}
 	}
 	sort.Strings(out)

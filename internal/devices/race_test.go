@@ -1,0 +1,46 @@
+package devices
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentAccess races Add/Open/Close/List/ByKind. ByKind
+// calls Device.Kind — arbitrary interface code — which must happen outside
+// the registry lock; -race plus these goroutines verifies the snapshot
+// pattern holds up.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	w := testWorld()
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				name := fmt.Sprintf("cam-%d-%d", g, i)
+				r.Add(NewCamera(name, w, 8, 8))
+				if _, err := r.Open(name, "devcon"); err != nil {
+					t.Errorf("open %s: %v", name, err)
+					return
+				}
+				r.List()
+				r.ByKind(KindCamera)
+				if _, ok := r.Holder(name); !ok {
+					t.Errorf("holder lost for %s", name)
+					return
+				}
+				if err := r.Close(name, "devcon"); err != nil {
+					t.Errorf("close %s: %v", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := len(r.ByKind(KindCamera)); got != 100 {
+		t.Fatalf("ByKind = %d devices, want 100", got)
+	}
+}

@@ -208,11 +208,13 @@ func (c *Controller) Arm() error {
 	return nil
 }
 
-// Disarm stops the motors immediately.
+// Disarm stops the motors immediately. The armed flag drops under the
+// lock; the motor write — an interface call into the device backend —
+// happens after release so the lock is never held across foreign code.
 func (c *Controller) Disarm() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.armed = false
+	c.mu.Unlock()
 	c.motors.SetMotors([4]float64{})
 }
 
@@ -364,34 +366,61 @@ func (c *Controller) MissionIndex() int {
 // Fast loop
 
 // Step runs one fast-loop iteration of dt seconds (normally FastLoopDT).
+//
+// Sensor reads and the motor write are interface calls into device
+// backends that hold their own locks, so they happen outside c.mu: the
+// sensor sample is taken first, the control math runs under the lock, and
+// the motor command is published after release. A concurrent reader thus
+// observes a command at most one fast-loop period (2.5 ms) stale — the
+// same guarantee an ESC bus gives — and the lock can never participate in
+// a cycle through a device implementation.
 func (c *Controller) Step(dt float64) {
 	if dt <= 0 {
 		return
 	}
+	imu := c.sensors.IMU()
+	hdg := c.sensors.Heading()
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.timeS += dt
 	c.loopCount++
-
-	imu := c.sensors.IMU()
-	c.updateAttitudeEstimate(imu, dt)
-
 	// Position/velocity update at 50 Hz (GPS-rate) to mirror the real
 	// sensor pipeline.
-	if c.loopCount%8 == 1 {
-		fix := c.sensors.Fix()
+	gpsTick := c.loopCount%8 == 1
+	c.mu.Unlock()
+
+	var fix devices.Fix
+	var soc float64
+	if gpsTick {
+		fix = c.sensors.Fix()
+		soc, _ = c.sensors.Battery()
+	}
+
+	c.mu.Lock()
+	cmd := c.stepLocked(imu, hdg, fix, soc, gpsTick, dt)
+	c.mu.Unlock()
+	c.motors.SetMotors(cmd)
+}
+
+// stepLocked runs the estimator and control math and returns the motor
+// command to publish. All sensor samples arrive as arguments; the only
+// foreign code it may reach is the breach action, which checkFenceLocked
+// already invokes with the lock released.
+func (c *Controller) stepLocked(imu devices.IMUSample, hdg float64, fix devices.Fix, soc float64, gpsTick bool, dt float64) [4]float64 {
+	c.updateAttitudeEstimate(imu, hdg, dt)
+
+	if gpsTick {
 		n, e := geo.NE(c.home.LatLon, fix.Position.LatLon)
 		c.posN, c.posE, c.alt = n, e, fix.Position.Alt
 		c.velN, c.velE, c.velD = fix.VelN, fix.VelE, fix.VelD
 		c.haveFix = true
 		c.checkFenceLocked()
-		c.checkBatteryLocked()
+		c.checkBatteryLocked(soc)
 	}
 
 	if !c.armed {
-		c.motors.SetMotors([4]float64{})
 		c.logSample()
-		return
+		return [4]float64{}
 	}
 
 	// Mode logic chooses position/climb targets.
@@ -426,9 +455,8 @@ func (c *Controller) Step(dt float64) {
 	if (c.mode == mavlink.ModeLand || (c.mode == mavlink.ModeRTL && c.landing)) &&
 		c.alt < 0.08 && math.Abs(c.velD) < 0.2 {
 		c.armed = false
-		c.motors.SetMotors([4]float64{})
 		c.logSample()
-		return
+		return [4]float64{}
 	}
 
 	// Position -> velocity.
@@ -490,12 +518,13 @@ func (c *Controller) Step(dt float64) {
 	for i := range m {
 		m[i] = clamp(m[i], 0, 1)
 	}
-	c.motors.SetMotors(m)
 	c.logSample()
+	return m
 }
 
-// updateAttitudeEstimate runs the complementary filter.
-func (c *Controller) updateAttitudeEstimate(imu devices.IMUSample, dt float64) {
+// updateAttitudeEstimate runs the complementary filter. hdgDeg is the
+// magnetometer heading in degrees, sampled by the caller before locking.
+func (c *Controller) updateAttitudeEstimate(imu devices.IMUSample, hdgDeg, dt float64) {
 	// Gyro integration.
 	cr, sr := math.Cos(c.estRoll), math.Sin(c.estRoll)
 	tp := math.Tan(c.estPitch)
@@ -521,7 +550,7 @@ func (c *Controller) updateAttitudeEstimate(imu devices.IMUSample, dt float64) {
 	}
 
 	// Magnetometer yaw correction.
-	hdg := c.sensors.Heading() * math.Pi / 180
+	hdg := hdgDeg * math.Pi / 180
 	c.estYaw += 0.02 * wrapPi(hdg-c.estYaw)
 	c.estYaw = wrapPi(c.estYaw)
 	c.estRoll = wrapPi(c.estRoll)
@@ -553,12 +582,12 @@ func (c *Controller) checkFenceLocked() {
 }
 
 // checkBatteryLocked forces RTL when the state of charge drops below the
-// failsafe threshold, once per discharge.
-func (c *Controller) checkBatteryLocked() {
+// failsafe threshold, once per discharge. soc is the state of charge
+// sampled by the caller before locking.
+func (c *Controller) checkBatteryLocked(soc float64) {
 	if c.battFailsafeFrac <= 0 || c.battFailsafed || !c.armed {
 		return
 	}
-	soc, _ := c.sensors.Battery()
 	if soc >= c.battFailsafeFrac {
 		return
 	}
@@ -737,6 +766,9 @@ func (c *Controller) handleCommand(m *mavlink.CommandLong) mavlink.Message {
 // Telemetry returns the controller's current telemetry set: heartbeat,
 // attitude, global position, and system status.
 func (c *Controller) Telemetry() []mavlink.Message {
+	// Battery is an interface call into the device backend; sample it
+	// before taking the controller lock.
+	soc, volt := c.sensors.Battery()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	base := uint8(mavlink.ModeFlagCustomModeEnabled)
@@ -744,7 +776,6 @@ func (c *Controller) Telemetry() []mavlink.Message {
 		base |= mavlink.ModeFlagSafetyArmed
 	}
 	pos := c.estimateLocked()
-	soc, volt := c.sensors.Battery()
 	hdg := math.Mod(c.estYaw*180/math.Pi+360, 360)
 	return []mavlink.Message{
 		&mavlink.Heartbeat{CustomMode: c.mode, Type: 2, Autopilot: 3, BaseMode: base, SystemStatus: 4, MavlinkVersion: 3},

@@ -1,0 +1,93 @@
+package flight
+
+import (
+	"sync"
+	"testing"
+
+	"androne/internal/mavlink"
+)
+
+// TestConcurrentReadersDuringFlight drives the fast loop while tenant-side
+// goroutines hammer every reader API — the VFC telemetry path, state
+// queries, and MAVLink dispatch. Run under -race this exercises the
+// invariant the locksafe refactor established: c.mu is never held across a
+// sensor or motor interface call, so the controller lock cannot order
+// against the sim's internal lock.
+func TestConcurrentReadersDuringFlight(t *testing.T) {
+	v := prepare(t)
+	c := v.Controller
+	if err := c.SetModeNum(mavlink.ModeGuided); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Takeoff(10); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	readers := []func(){
+		func() { c.Telemetry() },
+		func() { c.Estimate() },
+		func() { c.EstimatedAttitude() },
+		func() { _ = c.Armed() },
+		func() { _ = c.Mode() },
+		func() { _ = c.Breached() },
+		func() { _ = c.BatteryFailsafed() },
+		func() { _ = c.MissionIndex() },
+		func() { c.HandleMessage(&mavlink.Heartbeat{}) },
+	}
+	for _, read := range readers {
+		wg.Add(1)
+		go func(read func()) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					read()
+				}
+			}
+		}(read)
+	}
+
+	v.StepSeconds(2)
+	close(stop)
+	wg.Wait()
+
+	if !c.Armed() {
+		t.Fatal("controller disarmed itself during concurrent reads")
+	}
+}
+
+// TestConcurrentDisarm races Disarm against the fast loop: the motor-cut
+// write happens outside the lock and must not tear against Step's motor
+// command publication.
+func TestConcurrentDisarm(t *testing.T) {
+	v := prepare(t)
+	c := v.Controller
+	if err := c.SetModeNum(mavlink.ModeGuided); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Takeoff(5); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Disarm()
+	}()
+	v.StepSeconds(1)
+	<-done
+
+	if c.Armed() {
+		t.Fatal("Disarm lost")
+	}
+}
