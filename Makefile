@@ -1,8 +1,9 @@
 # Development entry points. CI (.github/workflows/ci.yml) runs `make check`.
 
 GO ?= go
+FUZZTIME ?= 15s
 
-.PHONY: all build test race vet androne-vet check clean
+.PHONY: all build test race vet androne-vet sim fuzz cover check clean
 
 all: build
 
@@ -27,8 +28,41 @@ vet: androne-vet
 androne-vet:
 	$(GO) run ./cmd/androne-vet ./...
 
+# End-to-end scenario harness (internal/simharness): every builtin scenario
+# through the CLI, the JSON examples, and proof that a sabotaged enforcement
+# layer makes the run exit non-zero. See DESIGN.md "Scenario harness & fault
+# injection".
+sim: build
+	@for s in survey-baseline multi-tenant breach-loiter motor-degraded \
+	          squall lossy-gcs revoked-midflight save-restore; do \
+		$(GO) run ./cmd/androne-sim -quiet -scenario $$s || exit 1; \
+		echo "scenario $$s: invariants held"; \
+	done
+	$(GO) run ./cmd/androne-sim -quiet -file examples/breach-loiter.json
+	@echo "example breach-loiter.json: invariants held"
+	@if $(GO) run ./cmd/androne-sim -quiet -file examples/broken-whitelist.json 2>/dev/null; then \
+		echo "sabotaged scenario did NOT fail"; exit 1; \
+	else echo "example broken-whitelist.json: violation detected (expected)"; fi
+
+# Fuzz smoke: each native fuzz target for FUZZTIME (default 15s) on top of
+# its checked-in seed corpus (testdata/fuzz/).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/mavlink
+	$(GO) test -run='^$$' -fuzz=FuzzTunnelOpen -fuzztime=$(FUZZTIME) ./internal/netem
+	$(GO) test -run='^$$' -fuzz=FuzzVFCStateMachine -fuzztime=$(FUZZTIME) ./internal/mavproxy
+
+# Coverage ratchet: total statement coverage must not drop below the floor
+# recorded in coverage-baseline.txt. Raise the floor when coverage grows.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	floor=$$(cat coverage-baseline.txt); \
+	echo "coverage: $$total% (floor $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t + 0 >= f + 0) ? 0 : 1 }' || \
+		{ echo "total coverage $$total% fell below the $$floor% floor"; exit 1; }
+
 # Everything CI enforces, in CI's order.
-check: build vet test race
+check: build vet test race sim fuzz
 
 clean:
 	$(GO) clean ./...

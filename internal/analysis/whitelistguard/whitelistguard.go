@@ -42,8 +42,10 @@ const (
 )
 
 // masterAllowed are packages permitted to obtain the unrestricted master
-// channel.
-var masterAllowed = []string{"androne/internal/core", mavproxyPath}
+// channel: the VDC/flight planner, the proxy itself, and the scenario
+// harness, which plays the cloud flight planner's trusted role (takeoff,
+// transit routing, deterministic fault injection).
+var masterAllowed = []string{"androne/internal/core", mavproxyPath, "androne/internal/simharness"}
 
 func run(pass *framework.Pass) error {
 	pkgPath := pass.Pkg.Path()

@@ -20,9 +20,10 @@ import (
 
 // VDC errors.
 var (
-	ErrVDExists = errors.New("core: virtual drone already exists")
-	ErrNoVD     = errors.New("core: no such virtual drone")
-	ErrNoName   = errors.New("core: definition has no name")
+	ErrVDExists     = errors.New("core: virtual drone already exists")
+	ErrNoVD         = errors.New("core: no such virtual drone")
+	ErrNoName       = errors.New("core: definition has no name")
+	ErrNameMismatch = errors.New("core: checkpoint container name does not match definition")
 )
 
 // instanceStatePath is where app saved state is persisted inside the
@@ -41,10 +42,11 @@ const progressPath = "/data/androne/progress.json"
 
 // progressState is the serialized VDC progress.
 type progressState struct {
-	Started     bool    `json:"started"`
-	Visited     []bool  `json:"visited"`
-	TimeUsedS   float64 `json:"time-used-s"`
-	EnergyUsedJ float64 `json:"energy-used-j"`
+	Started     bool     `json:"started"`
+	Visited     []bool   `json:"visited"`
+	TimeUsedS   float64  `json:"time-used-s"`
+	EnergyUsedJ float64  `json:"energy-used-j"`
+	Marked      []string `json:"marked,omitempty"`
 }
 
 // AppContext is what an app factory receives: its virtual drone, its SDK,
@@ -111,6 +113,19 @@ func (vd *VirtualDrone) MarkedFiles() []string {
 	vd.mu.Lock()
 	defer vd.mu.Unlock()
 	return append([]string(nil), vd.marked...)
+}
+
+// Progress reports how many of the virtual drone's waypoints have been
+// visited, and the total. Restore round-trips this through the VDR.
+func (vd *VirtualDrone) Progress() (visited, total int) {
+	vd.mu.Lock()
+	defer vd.mu.Unlock()
+	for _, seen := range vd.visited {
+		if seen {
+			visited++
+		}
+	}
+	return visited, len(vd.visited)
 }
 
 // Done reports whether the virtual drone finished all its waypoints.
@@ -265,6 +280,9 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 	if def.Name == "" {
 		return nil, ErrNoName
 	}
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
 	name := def.Name
 	v.mu.Lock()
 	if _, ok := v.vds[name]; ok {
@@ -283,6 +301,14 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 	}
 	if err != nil {
 		return nil, err
+	}
+	if c.Name() != name {
+		// A VDR entry whose checkpoint belongs to a different virtual drone
+		// (corrupt storage, or an entry spliced together from two drones)
+		// must not come up under this definition's identity.
+		_ = v.drone.Runtime.Stop(c.Name())
+		_ = v.drone.Runtime.Remove(c.Name())
+		return nil, fmt.Errorf("%w: checkpoint %q, definition %q", ErrNameMismatch, c.Name(), name)
 	}
 	cleanup := func() {
 		_ = v.drone.Runtime.Stop(name)
@@ -349,6 +375,9 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 				}
 				vd.done = all
 				vd.Allotment.Consume(st.TimeUsedS, st.EnergyUsedJ)
+				// Files marked for the user before the save must still be
+				// offloaded at the end of the resumed flight.
+				vd.marked = append([]string(nil), st.Marked...)
 			}
 		}
 	}
@@ -626,6 +655,22 @@ func (v *VDC) TickTransit(dt float64) {
 	}
 }
 
+// TickActive runs periodic app work for the named virtual drone while it
+// holds its waypoint — the counterpart of TickTransit for the dwell phase,
+// used by flight orchestrators that drive apps tick-by-tick.
+func (v *VDC) TickActive(name string, dt float64) {
+	vd, err := v.Get(name)
+	if err != nil {
+		return
+	}
+	vd.mu.Lock()
+	at := vd.atWaypoint
+	vd.mu.Unlock()
+	if at {
+		vd.tick(dt)
+	}
+}
+
 // NotifyBreach delivers geofenceBreached to the virtual drone's apps.
 func (v *VDC) NotifyBreach(name string) {
 	if vd, err := v.Get(name); err == nil {
@@ -678,6 +723,7 @@ func (v *VDC) Save(name string) (cloud.VDREntry, error) {
 		Visited:     append([]bool(nil), vd.visited...),
 		TimeUsedS:   vd.Def.MaxDuration - vd.Allotment.TimeLeftS(),
 		EnergyUsedJ: vd.Def.EnergyAllotted - vd.Allotment.EnergyLeftJ(),
+		Marked:      append([]string(nil), vd.marked...),
 	}
 	vd.mu.Unlock()
 	if raw, err := json.Marshal(progress); err == nil {

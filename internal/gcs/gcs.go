@@ -115,6 +115,14 @@ func New(endpoint Endpoint, profile netem.Profile, key []byte, seed string) *Sta
 	}
 }
 
+// SetLinkProfile swaps the latency/loss profile of both directions of the
+// station's link — an emulated handover or degradation episode on the
+// cellular path, used by the simulation harness for timed link faults.
+func (s *Station) SetLinkProfile(p netem.Profile) {
+	s.uplink.SetProfile(p)
+	s.downlink.SetProfile(p)
+}
+
 // Stats returns a snapshot of the command statistics.
 func (s *Station) Stats() Stats {
 	s.mu.Lock()

@@ -184,6 +184,22 @@ func (p *Proxy) RemoveVFC(name string) {
 	delete(p.vfcs, name)
 }
 
+// SetWhitelist swaps a VFC's whitelist template in place — the provider
+// upgrading or downgrading a customer's control level mid-service (the
+// paper's templates range from guided-only up to full control). The new
+// template applies to the next message; in-flight state (waypoint, fence,
+// breach recovery) is untouched.
+func (p *Proxy) SetWhitelist(name string, wl Whitelist) error {
+	v, err := p.VFCByName(name)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	v.wl = wl
+	v.mu.Unlock()
+	return nil
+}
+
 // VFCByName retrieves a VFC.
 func (p *Proxy) VFCByName(name string) (*VFC, error) {
 	p.mu.Lock()
@@ -358,6 +374,7 @@ func (v *VFC) Send(msg mavlink.Message) []mavlink.Message {
 	state := v.state
 	disabled := v.cmdsDisabled
 	fence := v.fence
+	wl := v.wl
 	v.mu.Unlock()
 
 	if _, isHB := msg.(*mavlink.Heartbeat); isHB {
@@ -372,7 +389,7 @@ func (v *VFC) Send(msg mavlink.Message) []mavlink.Message {
 
 	switch m := msg.(type) {
 	case *mavlink.CommandLong:
-		if !v.wl.AllowsCommand(m.Command) {
+		if !wl.AllowsCommand(m.Command) {
 			return deny(msg, mavlink.ResultDenied)
 		}
 		// DO_SET_MODE may only select modes that keep the drone controllable
@@ -383,11 +400,11 @@ func (v *VFC) Send(msg mavlink.Message) []mavlink.Message {
 			}
 		}
 	case *mavlink.SetMode:
-		if !v.wl.AllowsMessage(mavlink.MsgIDSetMode) || !v.safeMode(m.CustomMode) {
+		if !wl.AllowsMessage(mavlink.MsgIDSetMode) || !v.safeMode(m.CustomMode) {
 			return deny(msg, mavlink.ResultDenied)
 		}
 	case *mavlink.SetPositionTargetGlobalInt:
-		if !v.wl.AllowsMessage(mavlink.MsgIDSetPositionTargetGlobal) {
+		if !wl.AllowsMessage(mavlink.MsgIDSetPositionTargetGlobal) {
 			return deny(msg, mavlink.ResultDenied)
 		}
 		target := geo.Position{
@@ -399,11 +416,11 @@ func (v *VFC) Send(msg mavlink.Message) []mavlink.Message {
 		}
 	case *mavlink.MissionCount, *mavlink.MissionClearAll,
 		*mavlink.ParamRequestRead, *mavlink.ParamRequestList, *mavlink.ParamSet:
-		if !v.wl.AllowsMessage(msg.ID()) {
+		if !wl.AllowsMessage(msg.ID()) {
 			return deny(msg, mavlink.ResultDenied)
 		}
 	case *mavlink.MissionItemInt:
-		if !v.wl.AllowsMessage(mavlink.MsgIDMissionItemInt) {
+		if !wl.AllowsMessage(mavlink.MsgIDMissionItemInt) {
 			return deny(msg, mavlink.ResultDenied)
 		}
 		// Every uploaded mission item must lie inside the geofence; AUTO

@@ -1,0 +1,160 @@
+package mavproxy
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"androne/internal/flight"
+	"androne/internal/geo"
+	"androne/internal/mavlink"
+)
+
+// TestTemplateMonotonicity proves the whitelist templates form a chain:
+// everything guided-only admits is admitted by standard, and everything
+// standard admits is admitted by full — over the ENTIRE id space, not just
+// the ids we happen to use. A template edit that breaks the ordering (e.g.
+// full losing a message standard keeps) fails here immediately.
+func TestTemplateMonotonicity(t *testing.T) {
+	g, s, fl := TemplateGuidedOnly(), TemplateStandard(), TemplateFull()
+	for id := 0; id <= math.MaxUint8; id++ {
+		mid := uint8(id)
+		if g.AllowsMessage(mid) && !s.AllowsMessage(mid) {
+			t.Errorf("message %d: guided-only ⊄ standard", mid)
+		}
+		if s.AllowsMessage(mid) && !fl.AllowsMessage(mid) {
+			t.Errorf("message %d: standard ⊄ full", mid)
+		}
+	}
+	for cmd := 0; cmd <= math.MaxUint16; cmd++ {
+		c := uint16(cmd)
+		if g.AllowsCommand(c) && !s.AllowsCommand(c) {
+			t.Errorf("command %d: guided-only ⊄ standard", c)
+		}
+		if s.AllowsCommand(c) && !fl.AllowsCommand(c) {
+			t.Errorf("command %d: standard ⊄ full", c)
+		}
+	}
+	// The chain is strict: each step adds something.
+	if len(s.Commands) <= len(g.Commands) || len(fl.Messages) <= len(s.Messages) {
+		t.Error("template chain is not strictly increasing")
+	}
+	// Arming stays the provider's at every level (§4.2: the whitelist can
+	// range up to full control, but arm/disarm is never delegated).
+	for _, w := range []Whitelist{g, s, fl} {
+		if w.AllowsCommand(mavlink.CmdComponentArmDisarm) {
+			t.Errorf("template %q delegates arm/disarm", w.Name)
+		}
+	}
+}
+
+// FuzzVFCStateMachine drives a VFC through random Activate / Deactivate /
+// Send / SetWhitelist / Tick / Telemetry sequences decoded from the fuzz
+// input. Whatever the order, the proxy must not panic and the confinement
+// invariants must hold at every step: a VFC that is not active temporarily
+// rejects everything, an active VFC accepts a whitelisted command and
+// denies arm/disarm, and the lifecycle state is always one of the three
+// legal values.
+func FuzzVFCStateMachine(f *testing.F) {
+	f.Add([]byte{0, 2, 3, 4, 1, 5, 0, 6, 7, 2})
+	f.Add([]byte{1, 1, 0, 0, 2, 2, 7, 7, 3})
+	f.Add([]byte{5, 6, 4, 0, 2, 1, 2})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		v := flight.NewVehicle(home, fmt.Sprintf("fuzz-vfc-%x", ops))
+		v.StepSeconds(0.1) // GPS fix
+		proxy := New(v.Controller)
+		vfc, err := proxy.NewVFC("vd", TemplateStandard(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp := waypointAt(0, 0, 60)
+
+		for i, op := range ops {
+			switch op % 8 {
+			case 0:
+				if err := proxy.Activate("vd", wp); err != nil {
+					t.Fatalf("op %d: activate: %v", i, err)
+				}
+				if vfc.State() != VFCActive {
+					t.Fatalf("op %d: state after activate = %v", i, vfc.State())
+				}
+			case 1:
+				if err := proxy.Deactivate("vd"); err != nil {
+					t.Fatalf("op %d: deactivate: %v", i, err)
+				}
+				if vfc.State() != VFCFinished {
+					t.Fatalf("op %d: state after deactivate = %v", i, vfc.State())
+				}
+			case 2:
+				// A command in every template: accepted iff active.
+				active := vfc.State() == VFCActive
+				res := sendResult(t, vfc, &mavlink.CommandLong{Command: mavlink.CmdDoChangeSpeed, Param2: 3})
+				switch {
+				case !active && res != mavlink.ResultTemporarilyRejected:
+					t.Fatalf("op %d: inactive speed change = %d", i, res)
+				case active && res != mavlink.ResultAccepted:
+					t.Fatalf("op %d: active speed change = %d", i, res)
+				}
+			case 3:
+				// Arm/disarm is never whitelisted: denied while active,
+				// temporarily rejected otherwise — never accepted.
+				active := vfc.State() == VFCActive
+				res := sendResult(t, vfc, &mavlink.CommandLong{Command: mavlink.CmdComponentArmDisarm, Param1: 1})
+				want := uint8(mavlink.ResultTemporarilyRejected)
+				if active {
+					want = mavlink.ResultDenied
+				}
+				if res != want {
+					t.Fatalf("op %d: arm/disarm = %d, want %d", i, res, want)
+				}
+			case 4:
+				// An out-of-fence position target is never forwarded.
+				out := geo.OffsetNE(home.LatLon, 500, 0)
+				replies := vfc.Send(&mavlink.SetPositionTargetGlobalInt{
+					LatE7: mavlink.LatLonToE7(out.Lat), LonE7: mavlink.LatLonToE7(out.Lon), Alt: 15,
+				})
+				if len(replies) == 0 {
+					t.Fatalf("op %d: out-of-fence target forwarded", i)
+				}
+			case 5:
+				proxy.Tick()
+			case 6:
+				if tele := vfc.Telemetry(); len(tele) == 0 {
+					t.Fatalf("op %d: empty telemetry", i)
+				}
+			case 7:
+				// Swap templates mid-sequence; op parity picks the level.
+				wl := TemplateGuidedOnly()
+				if op >= 128 {
+					wl = TemplateFull()
+				}
+				if err := proxy.SetWhitelist("vd", wl); err != nil {
+					t.Fatalf("op %d: set whitelist: %v", i, err)
+				}
+				// Restore standard so the case-2/3 oracles stay valid.
+				if err := proxy.SetWhitelist("vd", TemplateStandard()); err != nil {
+					t.Fatalf("op %d: restore whitelist: %v", i, err)
+				}
+			}
+			if s := vfc.State(); s != VFCIdle && s != VFCActive && s != VFCFinished {
+				t.Fatalf("op %d: illegal state %d", i, int(s))
+			}
+		}
+	})
+}
+
+func sendResult(t *testing.T, vfc *VFC, msg mavlink.Message) uint8 {
+	t.Helper()
+	replies := vfc.Send(msg)
+	if len(replies) != 1 {
+		t.Fatalf("replies = %v", replies)
+	}
+	ack, ok := replies[0].(*mavlink.CommandAck)
+	if !ok {
+		t.Fatalf("reply = %T", replies[0])
+	}
+	return ack.Result
+}

@@ -73,6 +73,23 @@ func NewLink(p Profile, seed string) *Link {
 	return &Link{p: p, r: newRNG(p.Name + "/" + seed)}
 }
 
+// SetProfile swaps the link's latency/loss profile in place, keeping the
+// deterministic random stream — an emulated handover, congestion episode, or
+// jammer coming and going mid-flight. The simulation harness uses this for
+// timed link faults on the GCS path.
+func (l *Link) SetProfile(p Profile) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.p = p
+}
+
+// Profile returns the link's current profile.
+func (l *Link) Profile() Profile {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p
+}
+
 // Sample draws one packet's fate: its one-way delay, and whether it is lost.
 func (l *Link) Sample() (time.Duration, bool) {
 	l.mu.Lock()

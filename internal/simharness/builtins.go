@@ -1,0 +1,201 @@
+package simharness
+
+import (
+	"encoding/json"
+
+	"androne/internal/apps"
+)
+
+// Builtins returns the canonical scenario set: eight end-to-end flights
+// covering the paper's claims under nominal conditions and under every
+// fault class the harness injects. All are expected to pass their
+// invariant checkers.
+func Builtins() []*Scenario {
+	return []*Scenario{
+		surveyBaseline(),
+		multiTenant(),
+		breachLoiter(),
+		motorDegraded(),
+		squall(),
+		lossyGCS(),
+		revokedMidflight(),
+		saveRestoreMidMission(),
+	}
+}
+
+// Sabotaged returns scenarios with an enforcement layer deliberately
+// broken; each must FAIL its matching invariant checker — the harness's
+// proof that the checkers can detect real violations.
+func Sabotaged() []*Scenario {
+	whitelist := breachLoiter()
+	whitelist.Name = "sabotage-whitelist"
+	whitelist.Seed = "sabotage-whitelist-1"
+	whitelist.Faults = nil
+	whitelist.Sabotage = "whitelist"
+
+	// A drone with an 8-second time budget and a dwell cap far beyond it:
+	// the runner ignores exhaustion, so the guard must fire.
+	allotment := &Scenario{
+		Name: "sabotage-allotment",
+		Seed: "sabotage-allotment-1",
+		Drones: []DroneSpec{{
+			Name: "starved", Owner: "alice",
+			MaxDurationS: 8, EnergyJ: 45000,
+			Waypoints: []WaypointSpec{{NorthM: 60, AltM: 15, RadiusM: 40, DwellS: 10}},
+		}},
+		Sabotage: "allotment",
+	}
+	return []*Scenario{whitelist, allotment}
+}
+
+// ByName resolves a scenario name against the builtin and sabotaged sets.
+func ByName(name string) *Scenario {
+	for _, s := range append(Builtins(), Sabotaged()...) {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func surveyBaseline() *Scenario {
+	return &Scenario{
+		Name: "survey-baseline",
+		Seed: "survey-baseline-1",
+		Drones: []DroneSpec{{
+			Name: "survey", Owner: "buildco",
+			Apps:         []string{apps.SurveyPackage},
+			MaxDurationS: 300, EnergyJ: 40000,
+			AppArgs: map[string]json.RawMessage{
+				apps.SurveyPackage: json.RawMessage(`{"spacing-m": 30}`),
+			},
+			Waypoints: []WaypointSpec{{NorthM: 80, AltM: 15, RadiusM: 50}},
+		}},
+	}
+}
+
+func multiTenant() *Scenario {
+	return &Scenario{
+		Name: "multi-tenant",
+		Seed: "multi-tenant-1",
+		Drones: []DroneSpec{
+			{
+				Name: "shots", Owner: "alice",
+				Apps:      []string{apps.PhotoPackage},
+				Waypoints: []WaypointSpec{{NorthM: 60, EastM: 20, AltM: 15, RadiusM: 40}},
+			},
+			{
+				Name: "watcher", Owner: "city",
+				Apps:              []string{apps.TrafficWatchPackage},
+				ContinuousDevices: []string{"camera"},
+				WaypointDevices:   []string{"camera"},
+				Waypoints:         []WaypointSpec{{NorthM: 120, EastM: -30, AltM: 15, RadiusM: 40}},
+			},
+		},
+	}
+}
+
+func breachLoiter() *Scenario {
+	return &Scenario{
+		Name: "breach-loiter",
+		Seed: "breach-loiter-1",
+		Drones: []DroneSpec{{
+			Name: "tenant", Owner: "alice",
+			Waypoints: []WaypointSpec{{NorthM: 70, AltM: 15, RadiusM: 40, DwellS: 6}},
+		}},
+		Pilot: &PilotSpec{Target: "tenant"},
+		Faults: []Fault{{
+			Kind: FaultBreach, Target: "tenant", From: "dwell", AtS: 3,
+		}},
+	}
+}
+
+func motorDegraded() *Scenario {
+	return &Scenario{
+		Name: "motor-degraded",
+		Seed: "motor-degraded-1",
+		Drones: []DroneSpec{{
+			Name: "survey", Owner: "buildco",
+			Apps:         []string{apps.SurveyPackage},
+			MaxDurationS: 300, EnergyJ: 40000,
+			AppArgs: map[string]json.RawMessage{
+				apps.SurveyPackage: json.RawMessage(`{"spacing-m": 30}`),
+			},
+			Waypoints: []WaypointSpec{{NorthM: 80, AltM: 15, RadiusM: 50}},
+		}},
+		Faults: []Fault{{
+			Kind: FaultMotor, From: "start", AtS: 5, Motor: 2, Efficiency: 0.85,
+		}},
+	}
+}
+
+func squall() *Scenario {
+	return &Scenario{
+		Name: "squall",
+		Seed: "squall-1",
+		Drones: []DroneSpec{{
+			Name: "shots", Owner: "alice",
+			Apps:      []string{apps.PhotoPackage},
+			Waypoints: []WaypointSpec{{NorthM: 60, AltM: 15, RadiusM: 40}},
+		}},
+		Faults: []Fault{{
+			Kind: FaultWind, From: "dwell", AtS: 1,
+			WindN: 5, WindE: 3, GustStd: 1.5, WindForS: 8,
+		}},
+	}
+}
+
+func lossyGCS() *Scenario {
+	return &Scenario{
+		Name: "lossy-gcs",
+		Seed: "lossy-gcs-1",
+		Drones: []DroneSpec{{
+			Name: "tenant", Owner: "alice",
+			Waypoints: []WaypointSpec{{NorthM: 70, AltM: 15, RadiusM: 40, DwellS: 5}},
+		}},
+		Pilot: &PilotSpec{Target: "tenant", PeriodTicks: 5},
+		Faults: []Fault{{
+			Kind: FaultLink, From: "dwell", AtS: 2, LossProb: 0.3, MeanMS: 300,
+		}},
+	}
+}
+
+func revokedMidflight() *Scenario {
+	return &Scenario{
+		Name: "revoked-midflight",
+		Seed: "revoked-midflight-1",
+		Drones: []DroneSpec{{
+			Name: "shots", Owner: "alice",
+			Apps:      []string{apps.PhotoPackage},
+			Waypoints: []WaypointSpec{{NorthM: 60, AltM: 15, RadiusM: 40, DwellS: 3}},
+		}},
+		Faults: []Fault{{
+			Kind: FaultRevoke, Target: "shots", From: "dwell", AtS: 0.5,
+			Permission: "camera",
+		}},
+	}
+}
+
+func saveRestoreMidMission() *Scenario {
+	return &Scenario{
+		Name: "save-restore",
+		Seed: "save-restore-1",
+		Drones: []DroneSpec{{
+			Name: "survey", Owner: "buildco",
+			Apps:         []string{apps.SurveyPackage},
+			MaxDurationS: 400, EnergyJ: 45000,
+			AppArgs: map[string]json.RawMessage{
+				apps.SurveyPackage: json.RawMessage(`{"spacing-m": 30}`),
+			},
+			Waypoints: []WaypointSpec{
+				{NorthM: 80, AltM: 15, RadiusM: 50},
+				{NorthM: 140, EastM: 40, AltM: 15, RadiusM: 50},
+			},
+		}},
+		Faults: []Fault{{
+			// Becomes eligible between the two waypoints: the checkpoint
+			// must round-trip visited progress, allotment, marked files.
+			Kind: FaultSaveRestore, Target: "survey", From: "dwell", AtS: 8,
+		}},
+	}
+}

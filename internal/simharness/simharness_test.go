@@ -1,0 +1,241 @@
+package simharness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBuiltinScenarios runs every canonical scenario end to end and
+// requires a clean invariant record plus the key mission milestones.
+func TestBuiltinScenarios(t *testing.T) {
+	for _, sc := range Builtins() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			trace := res.Trace()
+			for _, want := range []string{"takeoff", "reached", "left", "landed", "saved"} {
+				if !strings.Contains(trace, want) {
+					t.Errorf("trace missing %q event:\n%s", want, trace)
+				}
+			}
+			// Every order must have closed out.
+			for _, o := range res.Orders {
+				if o.Status != "completed" && o.Status != "saved" {
+					t.Errorf("order %s ended %q", o.ID, o.Status)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism is the harness's core contract: the same scenario (same
+// seed) must produce the identical tick-stamped event trace.
+func TestDeterminism(t *testing.T) {
+	for _, sc := range Builtins() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			a, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Trace() != b.Trace() {
+				t.Errorf("same seed, different traces:\n--- run 1:\n%s--- run 2:\n%s",
+					a.Trace(), b.Trace())
+			}
+			if a.Ticks != b.Ticks {
+				t.Errorf("ticks %d vs %d", a.Ticks, b.Ticks)
+			}
+		})
+	}
+}
+
+// TestSeedChangesTrace guards against the trace being insensitive to the
+// seed (which would make TestDeterminism vacuous). A calm no-pilot flight
+// IS seed-insensitive by design, so use the lossy-GCS scenario, where the
+// seed drives the link's loss and latency draws.
+func TestSeedChangesTrace(t *testing.T) {
+	sc := lossyGCS()
+	a, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2 := lossyGCS()
+	sc2.Seed = "another-seed"
+	b, err := RunScenario(sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace() == b.Trace() {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestSabotageDetected proves the checkers can fail: deliberately broken
+// enforcement must be caught by the matching checker, and only by it.
+func TestSabotageDetected(t *testing.T) {
+	wantChecker := map[string]string{
+		"sabotage-whitelist": "whitelist-canary",
+		"sabotage-allotment": "allotment-guard",
+	}
+	for _, sc := range Sabotaged() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Passed() {
+				t.Fatalf("sabotaged scenario passed all checkers:\n%s", res.Trace())
+			}
+			want := wantChecker[sc.Name]
+			for _, v := range res.Violations {
+				if v.Checker != want {
+					t.Errorf("unexpected checker %q fired: %s", v.Checker, v)
+				}
+			}
+		})
+	}
+}
+
+// TestBreachProtocolObserved pins the breach scenario's conduct: the fence
+// trips, recovery runs, and it ends in loiter — never a failsafe landing
+// mid-mission.
+func TestBreachProtocolObserved(t *testing.T) {
+	res, err := RunScenario(breachLoiter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := res.Trace()
+	if !strings.Contains(trace, "geofence breached") {
+		t.Fatalf("breach never tripped:\n%s", trace)
+	}
+	if !strings.Contains(trace, "recovered") || !strings.Contains(trace, "mode=loiter") {
+		t.Fatalf("recovery did not end in loiter:\n%s", trace)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestSaveRestoreRoundTrips pins the mid-mission checkpoint: the scenario
+// saves after the first waypoint and the restored drone finishes the
+// second, delivering a file from each.
+func TestSaveRestoreRoundTrips(t *testing.T) {
+	res, err := RunScenario(saveRestoreMidMission())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := res.Trace()
+	if !strings.Contains(trace, "checkpointed to VDR (1/2 waypoints)") {
+		t.Fatalf("no mid-mission save:\n%s", trace)
+	}
+	if !strings.Contains(trace, "restored from VDR (1/2 waypoints)") {
+		t.Fatalf("no mid-mission restore:\n%s", trace)
+	}
+	if !strings.Contains(trace, "waypoint 1 revoked") {
+		t.Fatalf("restored drone never finished waypoint 1:\n%s", trace)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestScenarioValidation covers the declarative schema's error paths.
+func TestScenarioValidation(t *testing.T) {
+	valid := func() *Scenario { return breachLoiter() }
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"no name", func(s *Scenario) { s.Name = "" }, "no name"},
+		{"no drones", func(s *Scenario) { s.Drones = nil }, "no drones"},
+		{"dup drone", func(s *Scenario) { s.Drones = append(s.Drones, s.Drones[0]) }, "duplicate"},
+		{"no waypoints", func(s *Scenario) { s.Drones[0].Waypoints = nil }, "no waypoints"},
+		{"bad pilot", func(s *Scenario) { s.Pilot.Target = "ghost" }, "unknown drone"},
+		{"bad fault kind", func(s *Scenario) { s.Faults[0].Kind = "emp" }, "unknown kind"},
+		{"bad fault target", func(s *Scenario) { s.Faults[0].Target = "ghost" }, "unknown target"},
+		{"bad anchor", func(s *Scenario) { s.Faults[0].From = "noon" }, "unknown anchor"},
+		{"link needs pilot", func(s *Scenario) {
+			s.Pilot = nil
+			s.Faults[0] = Fault{Kind: FaultLink, AtS: 1}
+		}, "needs a pilot"},
+		{"bad sabotage", func(s *Scenario) { s.Sabotage = "gremlins" }, "unknown sabotage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := valid()
+			tc.mutate(sc)
+			err := sc.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate() = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+	if err := valid().Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+}
+
+// TestLoadScenarioJSON round-trips a scenario through its JSON file form —
+// the same path the androne-sim CLI uses.
+func TestLoadScenarioJSON(t *testing.T) {
+	sc := lossyGCS()
+	raw, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace() != b.Trace() {
+		t.Error("JSON round-trip changed the trace")
+	}
+
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("loading malformed JSON succeeded")
+	}
+}
+
+// TestByName resolves every shipped scenario and rejects unknown names.
+func TestByName(t *testing.T) {
+	for _, sc := range append(Builtins(), Sabotaged()...) {
+		if got := ByName(sc.Name); got == nil || got.Name != sc.Name {
+			t.Errorf("ByName(%q) = %v", sc.Name, got)
+		}
+	}
+	if ByName("no-such-scenario") != nil {
+		t.Error("ByName resolved an unknown name")
+	}
+}
