@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet androne-vet sim fuzz cover check clean
+.PHONY: all build test race vet androne-vet vet-ip sim fuzz cover check clean
 
 all: build
 
@@ -24,9 +24,18 @@ vet: androne-vet
 
 # The androne-specific static-analysis suite: lock discipline, binder
 # namespace isolation, VFC whitelist boundary, service-plane deadlines,
-# timer hygiene. See DESIGN.md "Static analysis & concurrency invariants".
+# timer hygiene, plus the interprocedural security analyzers. See DESIGN.md
+# "Static analysis & concurrency invariants".
 androne-vet:
 	$(GO) run ./cmd/androne-vet ./...
+
+# The interprocedural subset alone (whole-program call graph + dataflow):
+# permission-dominance (permguard), sender-identity taint (sendertaint),
+# and security-relevant error propagation (errflow). See DESIGN.md
+# "Interprocedural analyses".
+vet-ip:
+	$(GO) run ./cmd/androne-vet -ctxtimeout=false -locksafe=false \
+		-nsguard=false -tickleak=false -whitelistguard=false ./...
 
 # End-to-end scenario harness (internal/simharness): every builtin scenario
 # through the CLI, the JSON examples, and proof that a sabotaged enforcement
@@ -62,7 +71,7 @@ cover:
 		{ echo "total coverage $$total% fell below the $$floor% floor"; exit 1; }
 
 # Everything CI enforces, in CI's order.
-check: build vet test race sim fuzz
+check: build vet vet-ip test race sim fuzz
 
 clean:
 	$(GO) clean ./...

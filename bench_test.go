@@ -318,8 +318,8 @@ func BenchmarkAblationPublishVsPerDevice(b *testing.B) {
 			// The device container's ServiceManager hook publishes shared
 			// services with one ioctl covering all namespaces, present and
 			// future — no per-device work.
-			hook := func(sm *android.ServiceManager, name string, h binder.Handle) {
-				_ = sm.Proc().PublishToAllNS(name, h)
+			hook := func(sm *android.ServiceManager, name string, h binder.Handle) error {
+				return sm.Proc().PublishToAllNS(name, h)
 			}
 			if _, err := android.Boot(dns, android.WithServiceManagerHook(hook)); err != nil {
 				b.Fatal(err)

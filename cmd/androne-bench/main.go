@@ -206,7 +206,9 @@ func aed(seed string) error {
 		log := flight.NewLog()
 		v := flight.NewVehicle(home, seed+load, flight.WithLog(log))
 		v.StepSeconds(0.1)
-		_ = v.Controller.SetModeNum(4) // GUIDED
+		if err := v.Controller.SetModeNum(4); err != nil { // GUIDED
+			return err
+		}
 		if err := v.Controller.Arm(); err != nil {
 			return err
 		}

@@ -2,8 +2,11 @@
 // AnDrone-specific invariants the compiler cannot check: lock discipline on
 // the flight hot paths (locksafe), Binder namespace isolation (nsguard),
 // the VFC MAVLink whitelist boundary (whitelistguard), deadlines and
-// cancellation in the service plane (ctxtimeout), and timer hygiene in
-// high-rate loops (tickleak).
+// cancellation in the service plane (ctxtimeout), timer hygiene in
+// high-rate loops (tickleak), and the interprocedural security suite —
+// permission checks dominating every hardware path (permguard), sender
+// identity taint (sendertaint), and security-relevant error propagation
+// (errflow).
 //
 // Usage:
 //
@@ -16,16 +19,18 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"androne/internal/analysis/ctxtimeout"
+	"androne/internal/analysis/errflow"
 	"androne/internal/analysis/framework"
 	"androne/internal/analysis/load"
 	"androne/internal/analysis/locksafe"
 	"androne/internal/analysis/nsguard"
+	"androne/internal/analysis/permguard"
+	"androne/internal/analysis/sendertaint"
 	"androne/internal/analysis/tickleak"
 	"androne/internal/analysis/whitelistguard"
 )
@@ -33,8 +38,11 @@ import (
 // suite is every analyzer the driver knows, in report order.
 var suite = []*framework.Analyzer{
 	ctxtimeout.Analyzer,
+	errflow.Analyzer,
 	locksafe.Analyzer,
 	nsguard.Analyzer,
+	permguard.Analyzer,
+	sendertaint.Analyzer,
 	tickleak.Analyzer,
 	whitelistguard.Analyzer,
 }
@@ -77,33 +85,18 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "androne-vet:", err)
 		return 2
 	}
-	findings, err := load.Run(pkgs, active)
+	findings, suppressed, err := load.Run(pkgs, active)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "androne-vet:", err)
 		return 2
 	}
 
 	if *jsonOut {
-		type jsonFinding struct {
-			Analyzer string `json:"analyzer"`
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Message  string `json:"message"`
+		names := make([]string, len(active))
+		for i, a := range active {
+			names[i] = a.Name
 		}
-		out := make([]jsonFinding, 0, len(findings))
-		for _, f := range findings {
-			out = append(out, jsonFinding{
-				Analyzer: f.Analyzer,
-				File:     f.Pos.Filename,
-				Line:     f.Pos.Line,
-				Column:   f.Pos.Column,
-				Message:  f.Message,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := load.WriteJSON(os.Stdout, load.Report(names, findings, suppressed)); err != nil {
 			fmt.Fprintln(os.Stderr, "androne-vet:", err)
 			return 2
 		}

@@ -55,14 +55,45 @@ func Run(t *testing.T, testdata string, analyzer *framework.Analyzer, pkgPaths .
 	}
 	ld.stdlib = importer.ForCompiler(ld.fset, "gc", stdlibLookup(t))
 
+	// Load every target (and, transitively, every fixture import) first, so
+	// the Program handed to each pass spans the whole fixture world — the
+	// same shape the androne-vet driver gives interprocedural analyzers.
+	var targets []*fixturePkg
 	for _, path := range pkgPaths {
 		pkg, err := ld.load(path)
 		if err != nil {
 			t.Errorf("analysistest: loading %s: %v", path, err)
 			continue
 		}
-		check(t, ld.fset, analyzer, pkg)
+		targets = append(targets, pkg)
 	}
+	prog := ld.program()
+	for _, pkg := range targets {
+		check(t, ld.fset, analyzer, prog, pkg)
+	}
+}
+
+// program assembles a framework.Program over every fixture package loaded
+// so far, in deterministic path order.
+func (l *loader) program() *framework.Program {
+	paths := make([]string, 0, len(l.pkgs))
+	for path, pkg := range l.pkgs {
+		if pkg.err == nil {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	var pps []*framework.ProgramPackage
+	for _, path := range paths {
+		pkg := l.pkgs[path]
+		pps = append(pps, &framework.ProgramPackage{
+			Path:  path,
+			Pkg:   pkg.types,
+			Files: pkg.files,
+			Info:  pkg.info,
+		})
+	}
+	return framework.NewProgram(l.fset, pps)
 }
 
 // fixturePkg is one type-checked fixture package.
@@ -162,7 +193,7 @@ type expectation struct {
 
 var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
 
-func check(t *testing.T, fset *token.FileSet, analyzer *framework.Analyzer, pkg *fixturePkg) {
+func check(t *testing.T, fset *token.FileSet, analyzer *framework.Analyzer, prog *framework.Program, pkg *fixturePkg) {
 	t.Helper()
 	expectations := collectWants(t, fset, pkg.files)
 
@@ -172,6 +203,7 @@ func check(t *testing.T, fset *token.FileSet, analyzer *framework.Analyzer, pkg 
 		Files:     pkg.files,
 		Pkg:       pkg.types,
 		TypesInfo: pkg.info,
+		Program:   prog,
 	}
 	var findings []load.Finding
 	pass.Report = func(d framework.Diagnostic) {

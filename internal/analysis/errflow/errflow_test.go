@@ -1,0 +1,15 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"androne/internal/analysis/analysistest"
+	"androne/internal/analysis/errflow"
+)
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", errflow.Analyzer,
+		"androne/internal/binder",
+		"errbad",
+	)
+}

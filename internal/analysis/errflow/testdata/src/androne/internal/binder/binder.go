@@ -1,0 +1,20 @@
+// Package binder is a fixture standing in for the real binder driver: the
+// errflow analyzer's seed table matches protected primitives by import-path
+// suffix, receiver, and name, so this fake at the androne/internal/binder
+// path exercises the same table.
+package binder
+
+// Code identifies a transaction.
+type Code int
+
+// CodePing is a no-op transaction.
+const CodePing Code = 1
+
+// Proc is a process attached to a namespace.
+type Proc struct{}
+
+// Transact performs one binder transaction.
+func (*Proc) Transact(handle int, code Code, data []byte) ([]byte, error) { return nil, nil }
+
+// PublishToAllNS is the PUBLISH_TO_ALL_NS ioctl.
+func (*Proc) PublishToAllNS(name string) error { return nil }

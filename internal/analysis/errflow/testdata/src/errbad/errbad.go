@@ -1,0 +1,51 @@
+// Package errbad exercises the errflow analyzer: dropped errors from seed
+// primitives, laundering through wrapper helpers (including tuple forwards
+// and naked returns), and the reviewed //vet:allow suppression path.
+package errbad
+
+import "androne/internal/binder"
+
+// checkPermission is a seed by naming convention, wherever it lives.
+func checkPermission(uid int) error { _ = uid; return nil }
+
+// send wraps the transact error and becomes risky itself.
+func send(p *binder.Proc) error {
+	_, err := p.Transact(1, binder.CodePing, nil)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// relay forwards send's error, two wrapper levels above the primitive.
+func relay(p *binder.Proc) error {
+	return send(p)
+}
+
+// publish forwards the ioctl error through a named result's naked return.
+func publish(p *binder.Proc, name string) (err error) {
+	err = p.PublishToAllNS(name)
+	return
+}
+
+func bad(p *binder.Proc) {
+	p.Transact(1, binder.CodePing, nil)        // want `error from Transact \(binder transaction\) is discarded`
+	_, _ = p.Transact(1, binder.CodePing, nil) // want `error from Transact \(binder transaction\) is assigned to _`
+	go p.PublishToAllNS("svc")                 // want `error from PublishToAllNS \(PUBLISH_TO_ALL_NS ioctl\) is unobservable in a go statement`
+	defer p.PublishToAllNS("svc")              // want `error from PublishToAllNS \(PUBLISH_TO_ALL_NS ioctl\) is unobservable in a defer statement`
+	checkPermission(7)                         // want `error from checkPermission \(permission check\) is discarded`
+	send(p)                                    // want `error from send \(wraps binder transaction\) is discarded`
+	relay(p)                                   // want `error from relay \(wraps binder transaction\) is discarded`
+	publish(p, "svc")                          // want `error from publish \(wraps PUBLISH_TO_ALL_NS ioctl\) is discarded`
+}
+
+func reviewed(p *binder.Proc) {
+	_ = send(p) //vet:allow errflow reviewed: fixture exercising the suppression path
+}
+
+func good(p *binder.Proc) error {
+	if _, err := p.Transact(1, binder.CodePing, nil); err != nil {
+		return err
+	}
+	return send(p)
+}

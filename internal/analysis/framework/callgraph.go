@@ -1,0 +1,185 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A CallSite is one resolved call edge: the declared function whose body
+// contains the call expression, and the callee it resolves to. Calls inside
+// func literals are attributed to the enclosing declared function. For
+// interface calls, Callee is the concrete method of one in-Program
+// implementer and Interface is true — one syntactic call can therefore
+// produce several CallSites.
+type CallSite struct {
+	Caller    *FuncSource
+	Call      *ast.CallExpr
+	Callee    *types.Func
+	Interface bool
+}
+
+// CallGraph is the Program's static call graph. Static function and method
+// calls resolve exactly; calls through interface values fan out to every
+// in-Program named type whose method set satisfies the interface. Calls
+// through plain function values (fields, parameters of func type) and
+// reflection are not resolved — analyzers building soundness arguments on
+// reachability must note that caveat (see DESIGN.md).
+type CallGraph struct {
+	prog *Program
+	out  map[*types.Func][]*CallSite // edges by caller
+	in   map[*types.Func][]*CallSite // edges by callee
+}
+
+// CallGraph builds (once, memoized) the Program's call graph.
+func (p *Program) CallGraph() *CallGraph {
+	p.mu.Lock()
+	g := p.graph
+	p.mu.Unlock()
+	if g != nil {
+		return g
+	}
+	g = buildCallGraph(p)
+	p.mu.Lock()
+	if p.graph != nil {
+		g = p.graph
+	} else {
+		p.graph = g
+	}
+	p.mu.Unlock()
+	return g
+}
+
+// CallsFrom returns fn's outgoing call edges in syntactic order.
+func (g *CallGraph) CallsFrom(fn *types.Func) []*CallSite { return g.out[fn] }
+
+// CallsTo returns fn's incoming call edges.
+func (g *CallGraph) CallsTo(fn *types.Func) []*CallSite { return g.in[fn] }
+
+// ReverseClosure returns the set of declared functions from which some
+// function matching seed is reachable over the call graph, including the
+// seed functions themselves when they are declared in the Program. This is
+// the "may eventually call" relation analyzers use to find guards and
+// wrappers.
+func (g *CallGraph) ReverseClosure(seed func(*types.Func) bool) map[*types.Func]bool {
+	closure := make(map[*types.Func]bool)
+	var work []*types.Func
+	add := func(fn *types.Func) {
+		if !closure[fn] {
+			closure[fn] = true
+			work = append(work, fn)
+		}
+	}
+	// Seed from every callee mentioned by any edge, plus declared functions,
+	// so seeds without bodies (or never-called seeds) still participate.
+	for _, src := range g.prog.Funcs() {
+		if seed(src.Fn) {
+			add(src.Fn)
+		}
+	}
+	for callee := range g.in {
+		if seed(callee) {
+			add(callee)
+		}
+	}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, site := range g.in[fn] {
+			add(site.Caller.Fn)
+		}
+	}
+	return closure
+}
+
+func buildCallGraph(p *Program) *CallGraph {
+	g := &CallGraph{
+		prog: p,
+		out:  make(map[*types.Func][]*CallSite),
+		in:   make(map[*types.Func][]*CallSite),
+	}
+	impls := make(map[*types.Func][]*types.Func) // interface method -> concrete methods
+	for _, src := range p.Funcs() {
+		caller := src
+		ast.Inspect(src.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, edge := range resolveCall(p, caller, call, impls) {
+				g.out[edge.Caller.Fn] = append(g.out[edge.Caller.Fn], edge)
+				g.in[edge.Callee] = append(g.in[edge.Callee], edge)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// resolveCall resolves one call expression to zero or more edges.
+func resolveCall(p *Program, caller *FuncSource, call *ast.CallExpr, impls map[*types.Func][]*types.Func) []*CallSite {
+	info := caller.Pkg.Info
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return []*CallSite{{Caller: caller, Call: call, Callee: fn}}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn := sel.Obj().(*types.Func)
+			if !types.IsInterface(sel.Recv()) {
+				return []*CallSite{{Caller: caller, Call: call, Callee: fn}}
+			}
+			var edges []*CallSite
+			for _, impl := range implementersOf(p, fn, impls) {
+				edges = append(edges, &CallSite{Caller: caller, Call: call, Callee: impl, Interface: true})
+			}
+			return edges
+		}
+		// Package-qualified call: pkg.F(...).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return []*CallSite{{Caller: caller, Call: call, Callee: fn}}
+		}
+	}
+	return nil
+}
+
+// implementersOf finds, for an interface method, the corresponding concrete
+// methods of every named non-interface type declared in the Program whose
+// method set (value or pointer) satisfies the interface. Results are cached
+// in impls; buildCallGraph is single-goroutine so no locking is needed.
+func implementersOf(p *Program, method *types.Func, impls map[*types.Func][]*types.Func) []*types.Func {
+	if cached, ok := impls[method]; ok {
+		return cached
+	}
+	var out []*types.Func
+	iface, _ := method.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		impls[method] = nil
+		return nil
+	}
+	for _, pkg := range p.Packages {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			// Look the method up through the pointer method set, which
+			// includes both value and pointer receivers.
+			obj, _, _ := types.LookupFieldOrMethod(ptr, true, method.Pkg(), method.Name())
+			if fn, ok := obj.(*types.Func); ok {
+				out = append(out, fn)
+			}
+		}
+	}
+	impls[method] = out
+	return out
+}

@@ -1,0 +1,216 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Origin is a small bitset lattice of value provenances. The framework
+// assigns no meaning to individual bits — each analyzer defines its own
+// (e.g. "from the Binder-stamped sender", "from payload bytes") and joins
+// are bitwise union, so the engine is monotone by construction.
+type Origin uint32
+
+// Has reports whether o includes every bit of b.
+func (o Origin) Has(b Origin) bool { return o&b == b }
+
+// Flow configures the forward dataflow engine for one function body. The
+// engine is flow-insensitive: it unions origins over all assignments to a
+// variable, iterating to a fixpoint. That over-approximates "may
+// originate from", which is the safe direction for taint checks.
+type Flow struct {
+	Info *types.Info
+
+	// Source classifies leaf expressions. A non-zero result claims the
+	// expression: the engine uses it instead of descending further. Typical
+	// clients claim selector chains (txn.Sender.EUID), literals, and
+	// payload roots here.
+	Source func(e ast.Expr) Origin
+
+	// Call, if non-nil, gives the origin of a call's results from the
+	// origins of its arguments. Nil means the union of the argument
+	// origins, a coarse default that treats every callee as a pass-through.
+	Call func(call *ast.CallExpr, args []Origin) Origin
+}
+
+// FlowResult holds the per-variable origin environment computed for one
+// function body.
+type FlowResult struct {
+	flow *Flow
+	env  map[types.Object]Origin
+}
+
+// Analyze runs the engine over decl's body. seed pre-assigns origins
+// (typically to parameters); it may be nil.
+func (f *Flow) Analyze(decl *ast.FuncDecl, seed map[types.Object]Origin) *FlowResult {
+	r := &FlowResult{flow: f, env: make(map[types.Object]Origin)}
+	for obj, o := range seed {
+		r.env[obj] = o
+	}
+	if decl.Body == nil {
+		return r
+	}
+	// Flow-insensitive fixpoint. Each pass unions the origin of every RHS
+	// into its LHS variable; origins only grow, so iteration terminates.
+	// The bound caps pathological chains (a=b; b=c; ... resolved one link
+	// per pass) without changing results for realistic bodies.
+	for i := 0; i < 8; i++ {
+		if !r.pass(decl.Body) {
+			break
+		}
+	}
+	return r
+}
+
+// pass walks the body once, returning whether any variable's origin grew.
+func (r *FlowResult) pass(body *ast.BlockStmt) bool {
+	changed := false
+	join := func(obj types.Object, o Origin) {
+		if obj == nil || o == 0 {
+			return
+		}
+		if r.env[obj]|o != r.env[obj] {
+			r.env[obj] |= o
+			changed = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					join(r.lhsObj(lhs), r.Origin(n.Rhs[i]))
+				}
+			} else if len(n.Rhs) == 1 {
+				// x, y := f(...) — every LHS gets the call's origin.
+				o := r.Origin(n.Rhs[0])
+				for _, lhs := range n.Lhs {
+					join(r.lhsObj(lhs), o)
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					switch {
+					case len(vs.Values) == len(vs.Names):
+						join(r.flow.Info.Defs[name], r.Origin(vs.Values[i]))
+					case len(vs.Values) == 1:
+						join(r.flow.Info.Defs[name], r.Origin(vs.Values[0]))
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			o := r.Origin(n.X)
+			if n.Key != nil {
+				join(r.lhsObj(n.Key), o)
+			}
+			if n.Value != nil {
+				join(r.lhsObj(n.Value), o)
+			}
+		case *ast.CallExpr:
+			// Out-parameter rule: a call passing &x may write into x
+			// (json.Unmarshal(data, &req), binary.Read, ...). Union the
+			// other arguments' origins into x. Coarse, but errs toward
+			// tainting, which is the safe direction.
+			var fromArgs Origin
+			for _, arg := range n.Args {
+				if _, ok := ast.Unparen(arg).(*ast.UnaryExpr); !ok {
+					fromArgs |= r.Origin(arg)
+				}
+			}
+			if fromArgs != 0 {
+				for _, arg := range n.Args {
+					if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok {
+						if id, ok := ast.Unparen(u.X).(*ast.Ident); ok {
+							join(r.flow.Info.Uses[id], fromArgs)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// lhsObj resolves an assignment target to its variable object, or nil for
+// blank, field, and index targets (which the environment does not track).
+func (r *FlowResult) lhsObj(lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := r.flow.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return r.flow.Info.Uses[id]
+}
+
+// Origin computes the origin of an expression under the current
+// environment: Source claims leaves, variables read from the environment,
+// and compound expressions union their operands.
+func (r *FlowResult) Origin(e ast.Expr) Origin {
+	if e == nil {
+		return 0
+	}
+	if r.flow.Source != nil {
+		if o := r.flow.Source(e); o != 0 {
+			return o
+		}
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return r.Origin(e.X)
+	case *ast.Ident:
+		if obj := r.flow.Info.Uses[e]; obj != nil {
+			return r.env[obj]
+		}
+		return 0
+	case *ast.SelectorExpr:
+		// Unclaimed field access inherits the origin of its operand.
+		return r.Origin(e.X)
+	case *ast.CallExpr:
+		args := make([]Origin, len(e.Args))
+		var union Origin
+		for i, a := range e.Args {
+			args[i] = r.Origin(a)
+			union |= args[i]
+		}
+		if r.flow.Call != nil {
+			return r.flow.Call(e, args)
+		}
+		return union
+	case *ast.UnaryExpr:
+		return r.Origin(e.X)
+	case *ast.StarExpr:
+		return r.Origin(e.X)
+	case *ast.BinaryExpr:
+		return r.Origin(e.X) | r.Origin(e.Y)
+	case *ast.IndexExpr:
+		return r.Origin(e.X) | r.Origin(e.Index)
+	case *ast.SliceExpr:
+		return r.Origin(e.X)
+	case *ast.TypeAssertExpr:
+		return r.Origin(e.X)
+	case *ast.CompositeLit:
+		var union Origin
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				union |= r.Origin(kv.Value)
+			} else {
+				union |= r.Origin(elt)
+			}
+		}
+		return union
+	case *ast.KeyValueExpr:
+		return r.Origin(e.Value)
+	}
+	return 0
+}
+
+// VarOrigin returns the computed origin of a variable.
+func (r *FlowResult) VarOrigin(obj types.Object) Origin { return r.env[obj] }

@@ -1,0 +1,210 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Dominates reports whether position a dominates position b inside body:
+// on every execution path that reaches b, the code at a has already
+// executed. It is proven over Go's structured control flow (if/for/range/
+// switch/select nesting), without building a CFG:
+//
+//   - Within a statement list, an earlier statement dominates a later one
+//     provided a executes unconditionally whenever its statement is
+//     reached (a is not buried in a conditional arm, short-circuit RHS,
+//     func literal, or go/defer).
+//   - Regions of one statement are ordered: if/for/switch Init and Cond
+//     (and a range's X, a type switch's Assign) execute before the
+//     conditional arms; a for's Post and the arms of if/switch/select are
+//     mutually parallel and never dominate each other.
+//   - goto can cut arbitrary forward paths, so any function containing one
+//     proves nothing (labeled break/continue only exit early and are fine).
+//
+// The result errs toward false: a false return means "not proven", not
+// "not dominated" — the safe direction for guard checks.
+func Dominates(body *ast.BlockStmt, a, b token.Pos) bool {
+	if body == nil || !within(body, a) || !within(body, b) {
+		return false
+	}
+	hasGoto := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.GOTO {
+			hasGoto = true
+		}
+		return !hasGoto
+	})
+	if hasGoto {
+		return false
+	}
+	return domList(body.List, a, b)
+}
+
+// within reports whether pos falls inside n's source span.
+func within(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}
+
+// domList handles a and b inside one statement list: sequential order plus
+// unconditional execution of a, or recursion when they share a statement.
+func domList(list []ast.Stmt, a, b token.Pos) bool {
+	ia, ib := -1, -1
+	for i, s := range list {
+		if within(s, a) {
+			ia = i
+		}
+		if within(s, b) {
+			ib = i
+		}
+	}
+	switch {
+	case ia < 0 || ib < 0:
+		return false
+	case ia < ib:
+		return uncondIn(list[ia], a)
+	case ia > ib:
+		return false
+	default:
+		return domStmt(list[ia], a, b)
+	}
+}
+
+// domStmt handles a and b inside the same statement, comparing the
+// execution-ordered regions of that statement.
+func domStmt(s ast.Stmt, a, b token.Pos) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return domList(s.List, a, b)
+	case *ast.LabeledStmt:
+		return domStmt(s.Stmt, a, b)
+	case *ast.IfStmt:
+		return domRegions(a, b, []ast.Node{s.Init, s.Cond}, []ast.Node{s.Body, s.Else})
+	case *ast.ForStmt:
+		// Post is an arm, not part of the linear chain: continue can reach
+		// Post while skipping the tail of Body, so Body never dominates it.
+		return domRegions(a, b, []ast.Node{s.Init, s.Cond}, []ast.Node{s.Body, s.Post})
+	case *ast.RangeStmt:
+		return domRegions(a, b, []ast.Node{s.X}, []ast.Node{s.Body})
+	case *ast.SwitchStmt:
+		return domRegions(a, b, []ast.Node{s.Init, s.Tag}, clauseNodes(s.Body))
+	case *ast.TypeSwitchStmt:
+		return domRegions(a, b, []ast.Node{s.Init, s.Assign}, clauseNodes(s.Body))
+	case *ast.SelectStmt:
+		return domRegions(a, b, nil, clauseNodes(s.Body))
+	case *ast.CaseClause:
+		// Case expressions are evaluated only until one matches, so they
+		// prove nothing; dominance continues inside the body only.
+		return domList(s.Body, a, b)
+	case *ast.CommClause:
+		if s.Comm != nil && within(s.Comm, a) {
+			if within(s.Comm, b) {
+				return domStmt(s.Comm, a, b)
+			}
+			// Reaching the clause body implies its comm completed.
+			return uncondIn(s.Comm, a)
+		}
+		return domList(s.Body, a, b)
+	default:
+		// A single simple statement; no ordering is proven inside it.
+		return false
+	}
+}
+
+func clauseNodes(body *ast.BlockStmt) []ast.Node {
+	nodes := make([]ast.Node, len(body.List))
+	for i, c := range body.List {
+		nodes[i] = c
+	}
+	return nodes
+}
+
+// domRegions compares positions across one statement's regions: linear
+// regions execute in order before any arm, arms are mutually exclusive.
+func domRegions(a, b token.Pos, linear, arms []ast.Node) bool {
+	find := func(pos token.Pos) (int, ast.Node, bool) {
+		for i, n := range linear {
+			if within(n, pos) {
+				return i, n, false
+			}
+		}
+		for i, n := range arms {
+			if within(n, pos) {
+				return len(linear) + i, n, true
+			}
+		}
+		return -1, nil, false
+	}
+	ia, na, armA := find(a)
+	ib, _, _ := find(b)
+	if ia < 0 || ib < 0 {
+		return false
+	}
+	if ia == ib {
+		if st, ok := na.(ast.Stmt); ok {
+			return domStmt(st, a, b)
+		}
+		return false // both inside one expression region: not proven
+	}
+	if ia > ib || armA {
+		return false
+	}
+	return uncondIn(na, a)
+}
+
+// uncondIn reports whether the code at pos executes unconditionally
+// whenever node n is reached: the nesting path from n down to pos passes
+// through no conditional arm, short-circuit right operand, func literal,
+// or deferred/spawned call.
+func uncondIn(n ast.Node, pos token.Pos) bool {
+	if !within(n, pos) {
+		return false
+	}
+	path := pathTo(n, pos)
+	for i := 0; i+1 < len(path); i++ {
+		if !uncondHop(path[i], path[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// pathTo returns the chain of nodes containing pos, from root inward.
+func pathTo(root ast.Node, pos token.Pos) []ast.Node {
+	var path []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil || !within(n, pos) {
+			return false
+		}
+		path = append(path, n)
+		return true
+	})
+	return path
+}
+
+// uncondHop reports whether child executes whenever parent is reached.
+func uncondHop(parent, child ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.IfStmt:
+		return child == p.Init || child == p.Cond
+	case *ast.ForStmt:
+		// Cond is evaluated at least once whenever the loop is reached.
+		return child == p.Init || child == p.Cond
+	case *ast.RangeStmt:
+		return child == p.X
+	case *ast.SwitchStmt:
+		return child == p.Init || child == p.Tag
+	case *ast.TypeSwitchStmt:
+		return child == p.Init || child == p.Assign
+	case *ast.SelectStmt, *ast.CaseClause, *ast.CommClause:
+		return false
+	case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+		return false
+	case *ast.BinaryExpr:
+		if p.Op == token.LAND || p.Op == token.LOR {
+			return child == p.X
+		}
+		return true
+	default:
+		return true
+	}
+}

@@ -42,6 +42,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Program is the whole-session view shared by every pass: all loaded
+	// packages, the call graph, the fact store. Interprocedural analyzers
+	// compute whole-program results once (memoized on the Program) and
+	// report only the diagnostics positioned inside this pass's package, so
+	// running once per package never duplicates findings.
+	Program *Program
+
 	// Report receives each diagnostic. Drivers install this.
 	Report func(Diagnostic)
 }

@@ -1,0 +1,279 @@
+package framework_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"androne/internal/analysis/framework"
+)
+
+// loadSrc type-checks the given files as one package and wraps it as a
+// ProgramPackage. The sources must not import anything.
+func loadSrc(t *testing.T, fset *token.FileSet, path string, files ...string) *framework.ProgramPackage {
+	t.Helper()
+	var asts []*ast.File
+	for i, src := range files {
+		f, err := parser.ParseFile(fset, fmt.Sprintf("%s/file%d.go", path, i), src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{}
+	pkg, err := cfg.Check(path, fset, asts, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &framework.ProgramPackage{Path: path, Pkg: pkg, Files: asts, Info: info}
+}
+
+// declNamed finds the function declaration with the given name.
+func declNamed(t *testing.T, files []*ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil
+}
+
+// callPos finds the position of the call to the named function inside body.
+func callPos(t *testing.T, body *ast.BlockStmt, name string) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name && pos == token.NoPos {
+			pos = call.Pos()
+		}
+		return true
+	})
+	if pos == token.NoPos {
+		t.Fatalf("no call to %s", name)
+	}
+	return pos
+}
+
+func TestEnclosingFuncAcrossFiles(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrc(t, fset, "encl",
+		`package encl
+
+var topLevel = 1
+
+func first() int { return topLevel }
+`,
+		`package encl
+
+func second() int {
+	x := 2
+	return x
+}
+`)
+	pass := &framework.Pass{Fset: fset, Files: pp.Files, Pkg: pp.Pkg, TypesInfo: pp.Info}
+
+	// A position inside second (declared in the second file) must resolve to
+	// second, not fall off the first file's span.
+	secondDecl := declNamed(t, pp.Files, "second")
+	inSecond := secondDecl.Body.List[0].Pos()
+	if fd := pass.EnclosingFunc(inSecond); fd == nil || fd.Name.Name != "second" {
+		t.Errorf("EnclosingFunc(in second) = %v, want second", fd)
+	}
+	firstDecl := declNamed(t, pp.Files, "first")
+	if fd := pass.EnclosingFunc(firstDecl.Body.Pos()); fd == nil || fd.Name.Name != "first" {
+		t.Errorf("EnclosingFunc(in first) = %v, want first", fd)
+	}
+	// A package-level position outside any function yields nil.
+	var varPos token.Pos
+	for _, d := range pp.Files[0].Decls {
+		if gd, ok := d.(*ast.GenDecl); ok {
+			varPos = gd.Pos()
+		}
+	}
+	if fd := pass.EnclosingFunc(varPos); fd != nil {
+		t.Errorf("EnclosingFunc(top-level var) = %s, want nil", fd.Name.Name)
+	}
+	// A position before every file yields nil rather than a bogus match.
+	if fd := pass.EnclosingFunc(token.NoPos); fd != nil {
+		t.Errorf("EnclosingFunc(NoPos) = %s, want nil", fd.Name.Name)
+	}
+}
+
+func TestReceiverTypeName(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrc(t, fset, "recv", `package recv
+
+type Box[T any] struct{ v T }
+
+type Plain struct{}
+
+func (p Plain) Value() {}
+
+func (p *Plain) Pointer() {}
+
+func (b *Box[T]) Generic() T { return b.v }
+
+func Free() {}
+`)
+	want := map[string]string{
+		"Value":   "Plain",
+		"Pointer": "Plain",
+		"Generic": "Box",
+		"Free":    "",
+	}
+	for name, recv := range want {
+		fd := declNamed(t, pp.Files, name)
+		if got := framework.ReceiverTypeName(fd); got != recv {
+			t.Errorf("ReceiverTypeName(%s) = %q, want %q", name, got, recv)
+		}
+	}
+}
+
+func TestCallGraphInterfaceFanOut(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrc(t, fset, "fanout", `package fanout
+
+type Device interface{ Op() error }
+
+type Cam struct{}
+
+func (*Cam) Op() error { return nil }
+
+type Mic struct{}
+
+func (Mic) Op() error { return nil }
+
+type Idle struct{}
+
+func drive(d Device) error { return d.Op() }
+
+func use(c *Cam) error { return c.Op() }
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	g := prog.CallGraph()
+
+	scope := pp.Pkg.Scope()
+	driveFn := scope.Lookup("drive").(*types.Func)
+	useFn := scope.Lookup("use").(*types.Func)
+
+	// The interface call fans out to every in-Program implementer — and only
+	// to implementers (Idle has no Op).
+	edges := g.CallsFrom(driveFn)
+	got := make(map[string]bool)
+	for _, e := range edges {
+		if !e.Interface {
+			t.Errorf("drive edge to %s: Interface = false, want true", e.Callee.Name())
+		}
+		recv := framework.MethodRecv(e.Callee)
+		if recv == nil {
+			t.Fatalf("drive edge to non-method %s", e.Callee.Name())
+		}
+		got[recv.Obj().Name()] = true
+	}
+	if len(edges) != 2 || !got["Cam"] || !got["Mic"] {
+		t.Errorf("drive fan-out = %v (%d edges), want {Cam, Mic}", got, len(edges))
+	}
+
+	// The static method call resolves exactly, not through the interface.
+	edges = g.CallsFrom(useFn)
+	if len(edges) != 1 || edges[0].Interface {
+		t.Fatalf("use edges = %+v, want one non-interface edge", edges)
+	}
+	if recv := framework.MethodRecv(edges[0].Callee); recv == nil || recv.Obj().Name() != "Cam" {
+		t.Errorf("use callee = %v, want Cam.Op", edges[0].Callee)
+	}
+
+	// Both callers appear in the reverse closure of the Op seed.
+	closure := g.ReverseClosure(func(fn *types.Func) bool { return fn.Name() == "Op" })
+	if !closure[driveFn] || !closure[useFn] {
+		t.Errorf("ReverseClosure(Op) misses callers: drive=%v use=%v", closure[driveFn], closure[useFn])
+	}
+}
+
+func TestDominates(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrc(t, fset, "dom", `package dom
+
+func guard() bool  { return true }
+func armGuard()    {}
+func scGuard() bool { return true }
+func initGuard() bool { return true }
+func sinkA()       {}
+func sinkB()       {}
+func sinkLoop()    {}
+func sinkSC()      {}
+func sinkInit()    {}
+func sinkGoto()    {}
+
+func flow(cond bool) {
+	guard()
+	if cond {
+		armGuard()
+		sinkA()
+	}
+	sinkB()
+	for i := 0; i < 3; i++ {
+		sinkLoop()
+	}
+	if cond && scGuard() {
+		sinkSC()
+	}
+	if ok := initGuard(); ok {
+		sinkInit()
+	}
+}
+
+func jumpy() {
+	guard()
+	goto done
+done:
+	sinkGoto()
+}
+`)
+	flowBody := declNamed(t, pp.Files, "flow").Body
+	at := func(name string) token.Pos { return callPos(t, flowBody, name) }
+
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"guard", "sinkB", true},        // straight-line prefix
+		{"guard", "sinkA", true},        // prefix dominates inside later arms
+		{"guard", "sinkLoop", true},     // and inside loop bodies
+		{"armGuard", "sinkA", true},     // sequential within one arm
+		{"armGuard", "sinkB", false},    // conditional arm does not dominate after
+		{"sinkA", "sinkB", false},       // same
+		{"sinkB", "guard", false},       // order matters
+		{"scGuard", "sinkSC", false},    // short-circuit RHS is conditional
+		{"initGuard", "sinkInit", true}, // if Init runs before the arms
+	}
+	for _, c := range cases {
+		if got := framework.Dominates(flowBody, at(c.a), at(c.b)); got != c.want {
+			t.Errorf("Dominates(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+
+	// Any goto in the body disables the structural proof entirely.
+	jumpyBody := declNamed(t, pp.Files, "jumpy").Body
+	if framework.Dominates(jumpyBody, callPos(t, jumpyBody, "guard"), callPos(t, jumpyBody, "sinkGoto")) {
+		t.Error("Dominates proved a claim in a body containing goto")
+	}
+}

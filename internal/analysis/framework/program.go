@@ -1,0 +1,168 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sync"
+)
+
+// A Fact is a datum an analyzer computes about a types.Object (usually a
+// *types.Func) and shares across packages within one analysis session —
+// the same idea as golang.org/x/tools/go/analysis facts, shrunk to an
+// in-memory store: no serialization, one process, one Program.
+//
+// Fact types must be pointers; AFact is a marker method.
+type Fact interface{ AFact() }
+
+// ProgramPackage is one package of a Program: syntax plus type information.
+type ProgramPackage struct {
+	Path  string
+	Pkg   *types.Package
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// FuncSource is a function's declaration site within a Program: the
+// types.Func object, its syntax, and the package that declares it. Only
+// functions with bodies in the Program have a FuncSource; imported or
+// synthesized functions do not.
+type FuncSource struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *ProgramPackage
+}
+
+// Program is the whole-repo (or whole-fixture) view interprocedural
+// analyzers work against. Drivers build one Program per session and hand it
+// to every Pass; analyzers memoize whole-program results on it so the work
+// is done once even though Run is invoked once per package.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*ProgramPackage
+
+	mu    sync.Mutex
+	facts map[factKey]Fact
+	memos map[string]any
+	graph *CallGraph
+	funcs map[*types.Func]*FuncSource
+	order []*FuncSource // declaration order, for deterministic iteration
+}
+
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+// NewProgram assembles a Program over the given packages.
+func NewProgram(fset *token.FileSet, pkgs []*ProgramPackage) *Program {
+	return &Program{
+		Fset:     fset,
+		Packages: pkgs,
+		facts:    make(map[factKey]Fact),
+		memos:    make(map[string]any),
+	}
+}
+
+// indexFuncs builds the *types.Func -> declaration map. Caller holds p.mu.
+func (p *Program) indexFuncs() {
+	if p.funcs != nil {
+		return
+	}
+	p.funcs = make(map[*types.Func]*FuncSource)
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				src := &FuncSource{Fn: fn, Decl: fd, Pkg: pkg}
+				p.funcs[fn] = src
+				p.order = append(p.order, src)
+			}
+		}
+	}
+}
+
+// Source returns the declaration site of fn within the Program, or nil for
+// functions declared outside it (imported packages, func literals).
+func (p *Program) Source(fn *types.Func) *FuncSource {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.indexFuncs()
+	return p.funcs[fn]
+}
+
+// Funcs returns every declared function in the Program in declaration
+// order (package order, then file order, then position).
+func (p *Program) Funcs() []*FuncSource {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.indexFuncs()
+	return p.order
+}
+
+// PackageOf returns the ProgramPackage whose file set covers pos, or nil.
+func (p *Program) PackageOf(pos token.Pos) *ProgramPackage {
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			if f.Pos() <= pos && pos <= f.End() {
+				return pkg
+			}
+		}
+	}
+	return nil
+}
+
+// ExportFact attaches a fact to obj, replacing any existing fact of the
+// same concrete type.
+func (p *Program) ExportFact(obj types.Object, f Fact) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.facts[factKey{obj, reflect.TypeOf(f)}] = f
+}
+
+// ImportFact copies the fact of f's concrete type attached to obj into f,
+// reporting whether one was present. f must be a non-nil pointer, as in
+// go/analysis.
+func (p *Program) ImportFact(obj types.Object, f Fact) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	got, ok := p.facts[factKey{obj, reflect.TypeOf(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// Memo returns the value previously computed under key, or runs compute
+// and caches its result. Interprocedural analyzers use it to do
+// whole-program work once even though they are invoked once per package;
+// key must therefore be unique per analyzer (conventionally the analyzer
+// name). compute runs without the Program lock held, so it may itself use
+// the Program; concurrent first calls under the same key may both compute,
+// with one result kept.
+func (p *Program) Memo(key string, compute func() any) any {
+	p.mu.Lock()
+	v, ok := p.memos[key]
+	p.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = compute()
+	p.mu.Lock()
+	if prev, ok := p.memos[key]; ok {
+		v = prev
+	} else {
+		p.memos[key] = v
+	}
+	p.mu.Unlock()
+	return v
+}

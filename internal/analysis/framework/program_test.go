@@ -1,0 +1,228 @@
+package framework_test
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"androne/internal/analysis/framework"
+)
+
+// riskyFact is a test fact type; Fact implementations must be pointers.
+type riskyFact struct{ Label string }
+
+func (*riskyFact) AFact() {}
+
+// otherFact shares no type with riskyFact: facts are keyed per concrete
+// type, so the two must not collide on one object.
+type otherFact struct{ N int }
+
+func (*otherFact) AFact() {}
+
+func TestProgramFactsAndMemo(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrc(t, fset, "androne/internal/devices", `package devices
+
+type Camera struct{}
+
+func (*Camera) Capture() error { return nil }
+
+func Free() {}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+
+	captureFn := findFunc(t, prog, "Capture")
+	freeFn := findFunc(t, prog, "Free")
+
+	// Facts round-trip by (object, concrete type).
+	prog.ExportFact(captureFn, &riskyFact{Label: "sink"})
+	var got riskyFact
+	if !prog.ImportFact(captureFn, &got) || got.Label != "sink" {
+		t.Errorf("ImportFact(Capture) = %+v, want Label=sink", got)
+	}
+	if prog.ImportFact(freeFn, &got) {
+		t.Error("ImportFact(Free) found a fact never exported")
+	}
+	var other otherFact
+	if prog.ImportFact(captureFn, &other) {
+		t.Error("ImportFact with a different fact type matched riskyFact")
+	}
+
+	// Memo computes once per key and caches the result.
+	calls := 0
+	compute := func() any { calls++; return calls }
+	if v := prog.Memo("k", compute); v != 1 {
+		t.Errorf("first Memo = %v, want 1", v)
+	}
+	if v := prog.Memo("k", compute); v != 1 || calls != 1 {
+		t.Errorf("second Memo = %v (calls=%d), want cached 1", v, calls)
+	}
+	if v := prog.Memo("k2", compute); v != 2 {
+		t.Errorf("Memo under a fresh key = %v, want recomputed 2", v)
+	}
+
+	// Source resolves declared functions and rejects foreign ones;
+	// PackageOf maps positions back to their package.
+	if src := prog.Source(captureFn); src == nil || src.Decl.Name.Name != "Capture" {
+		t.Errorf("Source(Capture) = %v, want its declaration", src)
+	}
+	if pkg := prog.PackageOf(prog.Source(freeFn).Decl.Pos()); pkg != pp {
+		t.Errorf("PackageOf(Free) = %v, want the devices fixture", pkg)
+	}
+	if pkg := prog.PackageOf(token.NoPos); pkg != nil {
+		t.Errorf("PackageOf(NoPos) = %v, want nil", pkg)
+	}
+
+	// Match helpers, against the fixture's suffix path.
+	if !framework.HasPkgSuffix(pp.Pkg, "internal/devices") {
+		t.Error("HasPkgSuffix(internal/devices) = false")
+	}
+	if framework.HasPkgSuffix(pp.Pkg, "internal/binder") {
+		t.Error("HasPkgSuffix(internal/binder) = true")
+	}
+	if !framework.IsMethod(captureFn, "androne/internal/devices", "Camera", "Capture") {
+		t.Error("IsMethod(Capture) = false")
+	}
+	if framework.IsMethod(freeFn, "androne/internal/devices", "Camera", "Free") {
+		t.Error("IsMethod(Free) = true for a plain function")
+	}
+	if !framework.IsFunc(freeFn, "androne/internal/devices", "Free") {
+		t.Error("IsFunc(Free) = false")
+	}
+	if framework.IsFunc(captureFn, "androne/internal/devices", "Capture") {
+		t.Error("IsFunc(Capture) = true for a method")
+	}
+	camType := pp.Pkg.Scope().Lookup("Camera").Type()
+	if !framework.IsNamed(types.NewPointer(camType), "androne/internal/devices", "Camera") {
+		t.Error("IsNamed(*Camera) = false")
+	}
+	if framework.IsNamed(types.Typ[types.Int], "androne/internal/devices", "Camera") {
+		t.Error("IsNamed(int) = true")
+	}
+	if recv := framework.MethodRecv(freeFn); recv != nil {
+		t.Errorf("MethodRecv(Free) = %v, want nil", recv)
+	}
+}
+
+// findFunc locates a declared function by name through Program.Funcs.
+func findFunc(t *testing.T, prog *framework.Program, name string) *types.Func {
+	t.Helper()
+	for _, src := range prog.Funcs() {
+		if src.Fn.Name() == name {
+			return src.Fn
+		}
+	}
+	t.Fatalf("no declared func %s", name)
+	return nil
+}
+
+func TestReportf(t *testing.T) {
+	var got framework.Diagnostic
+	pass := &framework.Pass{Report: func(d framework.Diagnostic) { got = d }}
+	pass.Reportf(token.Pos(42), "found %d issue(s)", 3)
+	if got.Pos != token.Pos(42) || got.Message != "found 3 issue(s)" {
+		t.Errorf("Reportf delivered %+v", got)
+	}
+}
+
+func TestDataflow(t *testing.T) {
+	const (
+		payload framework.Origin = 1 << iota
+		pTxn
+		pPtr
+	)
+	if !framework.Origin(3).Has(1) || framework.Origin(3).Has(4) {
+		t.Error("Origin.Has bitset arithmetic is wrong")
+	}
+
+	fset := token.NewFileSet()
+	pp := loadSrc(t, fset, "flowpkg", `package flowpkg
+
+type Txn struct {
+	Data []byte
+	N    int
+}
+
+func split(b []byte) (int, error) { return len(b), nil }
+
+func fill(dst *int, n int) { *dst = n }
+
+func compute(t Txn, p *int) int {
+	a := t.Data
+	b := string(a)
+	var c = b
+	x, err := split(a)
+	_ = err
+	sum := 0
+	for _, v := range t.Data {
+		sum += int(v)
+	}
+	fill(&sum, t.N)
+	if x > 0 {
+		return len(c)
+	}
+	return *p
+}
+`)
+	decl := declNamed(t, pp.Files, "compute")
+	fn := pp.Info.Defs[decl.Name].(*types.Func)
+	sig := fn.Type().(*types.Signature)
+
+	flow := &framework.Flow{
+		Info: pp.Info,
+		Source: func(e ast.Expr) framework.Origin {
+			if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "Data" {
+				return payload
+			}
+			return 0
+		},
+	}
+	res := flow.Analyze(decl, map[types.Object]framework.Origin{
+		sig.Params().At(0): pTxn,
+		sig.Params().At(1): pPtr,
+	})
+
+	varObj := func(name string) types.Object {
+		for id, obj := range pp.Info.Defs {
+			if id.Name == name && obj != nil && decl.Body.Pos() <= id.Pos() && id.Pos() < decl.Body.End() {
+				return obj
+			}
+		}
+		t.Fatalf("no local %s", name)
+		return nil
+	}
+
+	// a := t.Data claims the payload source; the chain a -> b -> c needs the
+	// fixpoint to carry it through the conversion and the var declaration.
+	if o := res.VarOrigin(varObj("c")); !o.Has(payload) {
+		t.Errorf("origin(c) = %b, want payload via a -> string(a) -> c", o)
+	}
+	// Tuple assignment from a call: both results inherit the argument.
+	if o := res.VarOrigin(varObj("x")); !o.Has(payload) {
+		t.Errorf("origin(x) = %b, want payload through split(a)", o)
+	}
+	// Range over a payload value taints the element, and += folds it in.
+	if o := res.VarOrigin(varObj("v")); !o.Has(payload) {
+		t.Errorf("origin(v) = %b, want payload from range t.Data", o)
+	}
+	sum := res.VarOrigin(varObj("sum"))
+	if !sum.Has(payload) {
+		t.Errorf("origin(sum) = %b, want payload via the range body", sum)
+	}
+	// The out-parameter rule: fill(&sum, t.N) may write t's data into sum.
+	if !sum.Has(pTxn) {
+		t.Errorf("origin(sum) = %b, want the Txn parameter bit via fill(&sum, t.N)", sum)
+	}
+	// res.Origin on an expression: the final return reads through *p.
+	var lastRet *ast.ReturnStmt
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			lastRet = r
+		}
+		return true
+	})
+	if o := res.Origin(lastRet.Results[0]); !o.Has(pPtr) {
+		t.Errorf("origin(*p) = %b, want the pointer parameter bit", o)
+	}
+}

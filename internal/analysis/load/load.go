@@ -185,9 +185,29 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
+// Program assembles the whole-session framework.Program over the loaded
+// packages, the shared substrate for interprocedural analyzers.
+func Program(pkgs []*Package) *framework.Program {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	pps := make([]*framework.ProgramPackage, len(pkgs))
+	for i, pkg := range pkgs {
+		pps[i] = &framework.ProgramPackage{
+			Path:  pkg.PkgPath,
+			Pkg:   pkg.Types,
+			Files: pkg.Syntax,
+			Info:  pkg.TypesInfo,
+		}
+	}
+	return framework.NewProgram(pkgs[0].Fset, pps)
+}
+
 // Run applies each analyzer to each package, returning findings sorted by
-// position with //vet:allow suppressions applied.
-func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Finding, error) {
+// position with //vet:allow suppressions applied, plus the number of
+// findings those suppressions dropped.
+func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Finding, int, error) {
+	prog := Program(pkgs)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -197,6 +217,7 @@ func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Finding, error) {
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Program:   prog,
 			}
 			name := a.Name
 			pass.Report = func(d framework.Diagnostic) {
@@ -207,11 +228,12 @@ func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Finding, error) {
 				})
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("load: %s on %s: %v", a.Name, pkg.PkgPath, err)
+				return nil, 0, fmt.Errorf("load: %s on %s: %v", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
-	findings = Filter(findings)
+	var suppressed int
+	findings, suppressed = FilterCounted(findings)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -225,14 +247,21 @@ func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Finding, error) {
 		}
 		return a.Message < b.Message
 	})
-	return findings, nil
+	return findings, suppressed, nil
 }
 
 // Filter drops findings whose source line carries a matching //vet:allow
 // suppression comment.
 func Filter(findings []Finding) []Finding {
+	out, _ := FilterCounted(findings)
+	return out
+}
+
+// FilterCounted is Filter plus the number of findings it dropped.
+func FilterCounted(findings []Finding) ([]Finding, int) {
 	lines := make(map[string][]string) // filename -> lines
 	out := findings[:0]
+	suppressed := 0
 	for _, f := range findings {
 		src, ok := lines[f.Pos.Filename]
 		if !ok {
@@ -244,11 +273,12 @@ func Filter(findings []Finding) []Finding {
 			lines[f.Pos.Filename] = src
 		}
 		if f.Pos.Line >= 1 && f.Pos.Line <= len(src) && suppresses(src[f.Pos.Line-1], f.Analyzer) {
+			suppressed++
 			continue
 		}
 		out = append(out, f)
 	}
-	return out
+	return out, suppressed
 }
 
 func suppresses(line, analyzer string) bool {

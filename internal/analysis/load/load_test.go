@@ -5,10 +5,13 @@ import (
 	"testing"
 
 	"androne/internal/analysis/ctxtimeout"
+	"androne/internal/analysis/errflow"
 	"androne/internal/analysis/framework"
 	"androne/internal/analysis/load"
 	"androne/internal/analysis/locksafe"
 	"androne/internal/analysis/nsguard"
+	"androne/internal/analysis/permguard"
+	"androne/internal/analysis/sendertaint"
 	"androne/internal/analysis/tickleak"
 	"androne/internal/analysis/whitelistguard"
 )
@@ -16,8 +19,11 @@ import (
 // suite mirrors the cmd/androne-vet analyzer set.
 var suite = []*framework.Analyzer{
 	ctxtimeout.Analyzer,
+	errflow.Analyzer,
 	locksafe.Analyzer,
 	nsguard.Analyzer,
+	permguard.Analyzer,
+	sendertaint.Analyzer,
 	tickleak.Analyzer,
 	whitelistguard.Analyzer,
 }
@@ -33,7 +39,7 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; pattern resolution is broken", len(pkgs))
 	}
-	findings, err := load.Run(pkgs, suite)
+	findings, _, err := load.Run(pkgs, suite)
 	if err != nil {
 		t.Fatalf("running suite: %v", err)
 	}

@@ -1,0 +1,50 @@
+package load
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is one diagnostic in androne-vet's -json output.
+type JSONFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// JSONReport is the full -json document: the analyzers that ran, every
+// surviving finding, and how many findings //vet:allow comments dropped.
+type JSONReport struct {
+	Analyzers  []string      `json:"analyzers"`
+	Findings   []JSONFinding `json:"findings"`
+	Suppressed int           `json:"suppressed"`
+}
+
+// Report assembles the JSON document for a completed run.
+func Report(analyzers []string, findings []Finding, suppressed int) JSONReport {
+	out := JSONReport{
+		Analyzers:  analyzers,
+		Findings:   make([]JSONFinding, 0, len(findings)),
+		Suppressed: suppressed,
+	}
+	for _, f := range findings {
+		out.Findings = append(out.Findings, JSONFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the report to w, indented, as the driver emits it.
+func WriteJSON(w io.Writer, r JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false) // the document feeds CI artifacts, not HTML
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

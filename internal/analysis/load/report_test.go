@@ -1,0 +1,80 @@
+package load_test
+
+import (
+	"bytes"
+	"go/token"
+	"testing"
+
+	"androne/internal/analysis/load"
+)
+
+// TestJSONReportGolden pins the exact -json document shape: key names,
+// ordering, indentation, and the empty-findings encoding ([] rather than
+// null) that downstream CI tooling parses.
+func TestJSONReportGolden(t *testing.T) {
+	findings := []load.Finding{
+		{
+			Analyzer: "errflow",
+			Pos:      token.Position{Filename: "internal/devcon/devcon.go", Line: 136, Column: 8},
+			Message:  "error from PublishToAllNS (PUBLISH_TO_ALL_NS ioctl) is discarded",
+		},
+		{
+			Analyzer: "permguard",
+			Pos:      token.Position{Filename: "internal/devcon/devcon.go", Line: 300, Column: 2},
+			Message:  "hardware sink Camera.Capture is reachable from handler handleTxn without a dominating permission+policy check (path: handleTxn -> Capture)",
+		},
+	}
+	report := load.Report([]string{"errflow", "permguard"}, findings, 3)
+
+	var buf bytes.Buffer
+	if err := load.WriteJSON(&buf, report); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	golden := `{
+  "analyzers": [
+    "errflow",
+    "permguard"
+  ],
+  "findings": [
+    {
+      "analyzer": "errflow",
+      "file": "internal/devcon/devcon.go",
+      "line": 136,
+      "column": 8,
+      "message": "error from PublishToAllNS (PUBLISH_TO_ALL_NS ioctl) is discarded"
+    },
+    {
+      "analyzer": "permguard",
+      "file": "internal/devcon/devcon.go",
+      "line": 300,
+      "column": 2,
+      "message": "hardware sink Camera.Capture is reachable from handler handleTxn without a dominating permission+policy check (path: handleTxn -> Capture)"
+    }
+  ],
+  "suppressed": 3
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("JSON report mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+// TestJSONReportEmpty pins the clean-run document: findings must encode as
+// an empty array, not null.
+func TestJSONReportEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := load.WriteJSON(&buf, load.Report([]string{"errflow"}, nil, 0)); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	golden := `{
+  "analyzers": [
+    "errflow"
+  ],
+  "findings": [],
+  "suppressed": 0
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("empty JSON report mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}

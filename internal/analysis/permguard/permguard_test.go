@@ -1,0 +1,17 @@
+package permguard_test
+
+import (
+	"testing"
+
+	"androne/internal/analysis/analysistest"
+	"androne/internal/analysis/permguard"
+)
+
+func TestPermGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", permguard.Analyzer,
+		"androne/internal/binder",
+		"androne/internal/android",
+		"androne/internal/devices",
+		"permbad",
+	)
+}

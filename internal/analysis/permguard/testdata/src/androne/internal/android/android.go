@@ -1,0 +1,14 @@
+// Package android is a fixture standing in for the real framework: the
+// ActivityManager.CheckPermission primitive is matched by import-path
+// suffix, receiver, and name.
+package android
+
+// ActivityManager answers permission queries.
+type ActivityManager struct{}
+
+// CheckPermission reports whether uid holds perm.
+func (*ActivityManager) CheckPermission(perm string, uid int) bool {
+	_ = perm
+	_ = uid
+	return true
+}

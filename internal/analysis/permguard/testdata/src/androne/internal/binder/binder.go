@@ -1,0 +1,27 @@
+// Package binder is a fixture standing in for the real binder driver:
+// permguard finds its entry points through the binder.Handler type, matched
+// by import-path suffix, so this fake at the androne/internal/binder path
+// exercises the same discovery.
+package binder
+
+// Sender is the driver-stamped identity of a transaction's caller.
+type Sender struct{ UID int }
+
+// Txn is one transaction as delivered to a handler.
+type Txn struct {
+	Code   int
+	Sender Sender
+	Data   []byte
+}
+
+// Reply is a handler's response.
+type Reply struct{ Data []byte }
+
+// Handler serves transactions on a node.
+type Handler func(Txn) (Reply, error)
+
+// Proc is a process attached to a namespace.
+type Proc struct{}
+
+// NewNode registers a transaction handler.
+func (*Proc) NewNode(name string, h Handler) int { _ = name; _ = h; return 0 }

@@ -1,0 +1,16 @@
+// Package devices is a fixture standing in for the real hardware layer:
+// permguard's sinks are Capture/Read/Play/HeadingDeg/Write/Open methods on
+// types declared in a package with this import-path suffix.
+package devices
+
+// Camera is a hardware camera.
+type Camera struct{}
+
+// Capture grabs one frame.
+func (*Camera) Capture() error { return nil }
+
+// Read returns the last captured frame.
+func (*Camera) Read() ([]byte, error) { return nil, nil }
+
+// Open powers the sensor up.
+func (*Camera) Open() error { return nil }

@@ -1,0 +1,91 @@
+// Package permbad exercises the permguard analyzer: a handler whose sink
+// paths are properly dominated by the combined permission+policy guard, a
+// handler with a bypassable fast path (the guard is present but one branch
+// reaches the sink without it), a guard buried in a conditional, and a
+// reviewed //vet:allow suppression.
+package permbad
+
+import (
+	"errors"
+
+	"androne/internal/android"
+	"androne/internal/binder"
+	"androne/internal/devices"
+)
+
+var errDenied = errors.New("denied")
+
+// policy stands in for the VDC policy: AllowDevice is the policy primitive.
+type policy struct{}
+
+func (policy) AllowDevice(container, kind string) bool { _ = container; _ = kind; return true }
+
+type svc struct {
+	am  *android.ActivityManager
+	pol policy
+	cam *devices.Camera
+}
+
+// authorize is a guard: both the permission primitive and the policy
+// primitive are reachable from it over the call graph.
+func (s *svc) authorize(txn binder.Txn) error {
+	if !s.am.CheckPermission("CAMERA", txn.Sender.UID) {
+		return errDenied
+	}
+	if !s.pol.AllowDevice("tenant", "camera") {
+		return errDenied
+	}
+	return nil
+}
+
+// handleGood is clean: the guard dominates every path to the sink.
+func (s *svc) handleGood(txn binder.Txn) (binder.Reply, error) {
+	if err := s.authorize(txn); err != nil {
+		return binder.Reply{}, err
+	}
+	return binder.Reply{}, s.cam.Capture()
+}
+
+// handleBypass carries the classic defect: the guard is present, but the
+// fast-path dispatch above it reaches the sink unchecked.
+func (s *svc) handleBypass(txn binder.Txn) (binder.Reply, error) {
+	if txn.Code == 99 {
+		return s.serve(txn) // fast path skips authorize
+	}
+	if err := s.authorize(txn); err != nil {
+		return binder.Reply{}, err
+	}
+	return s.serve(txn)
+}
+
+func (s *svc) serve(txn binder.Txn) (binder.Reply, error) {
+	_ = txn
+	err := s.cam.Capture() // want `hardware sink Camera\.Capture is reachable from handler handleBypass without a dominating permission\+policy check`
+	return binder.Reply{}, err
+}
+
+// handleConditional guards only one branch; the sink below is reachable
+// with the guard skipped, so presence alone does not count.
+func (s *svc) handleConditional(txn binder.Txn) (binder.Reply, error) {
+	if txn.Code == 1 {
+		if err := s.authorize(txn); err != nil {
+			return binder.Reply{}, err
+		}
+	}
+	frame, err := s.cam.Read() // want `hardware sink Camera\.Read is reachable from handler handleConditional without a dominating permission\+policy check`
+	return binder.Reply{Data: frame}, err
+}
+
+// handleBoot is reviewed: the sink runs before any tenant can attach.
+func (s *svc) handleBoot(txn binder.Txn) (binder.Reply, error) {
+	_ = txn
+	return binder.Reply{}, s.cam.Open() //vet:allow permguard boot-time self-test before tenants attach
+}
+
+// Register wires the handlers, making them entry points.
+func Register(p *binder.Proc, s *svc) {
+	p.NewNode("good", s.handleGood)
+	p.NewNode("bypass", s.handleBypass)
+	p.NewNode("cond", s.handleConditional)
+	p.NewNode("boot", s.handleBoot)
+}

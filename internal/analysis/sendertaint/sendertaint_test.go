@@ -1,0 +1,16 @@
+package sendertaint_test
+
+import (
+	"testing"
+
+	"androne/internal/analysis/analysistest"
+	"androne/internal/analysis/sendertaint"
+)
+
+func TestSenderTaint(t *testing.T) {
+	analysistest.Run(t, "testdata", sendertaint.Analyzer,
+		"androne/internal/binder",
+		"androne/internal/android",
+		"taintbad",
+	)
+}

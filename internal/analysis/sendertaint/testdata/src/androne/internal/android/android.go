@@ -1,0 +1,17 @@
+// Package android is a fixture standing in for the real framework: the
+// permission-decision primitives are matched by import-path suffix and
+// name.
+package android
+
+// ActivityManager answers permission queries.
+type ActivityManager struct{}
+
+// CheckPermission reports whether uid holds perm.
+func (*ActivityManager) CheckPermission(perm string, uid int) bool {
+	_ = perm
+	_ = uid
+	return true
+}
+
+// CheckPermissionData is the package-level decision primitive.
+func CheckPermissionData(perm string, uid int) bool { _ = perm; _ = uid; return true }

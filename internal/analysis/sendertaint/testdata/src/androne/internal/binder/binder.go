@@ -1,0 +1,15 @@
+// Package binder is a fixture standing in for the real binder driver:
+// sendertaint's taint sources match the Txn and Sender types by import-path
+// suffix, so this fake at the androne/internal/binder path exercises the
+// same classifier.
+package binder
+
+// Sender is the driver-stamped identity of a transaction's caller.
+type Sender struct{ UID, EUID int }
+
+// Txn is one transaction as delivered to a handler.
+type Txn struct {
+	Code   int
+	Sender Sender
+	Data   []byte
+}

@@ -1,0 +1,52 @@
+// Package taintbad exercises the sendertaint analyzer: payload-derived and
+// constant identities reaching permission decisions, laundering through an
+// obligated helper, clean Binder-stamped flows, and the reviewed
+// //vet:allow suppression path.
+package taintbad
+
+import (
+	"androne/internal/android"
+	"androne/internal/binder"
+)
+
+// policy stands in for the VDC policy; AllowDevice is a decision primitive.
+type policy struct{}
+
+func (policy) AllowDevice(container, kind string) bool { _ = container; _ = kind; return true }
+
+func atoi(b []byte) int { return len(b) }
+
+func direct(am *android.ActivityManager, txn binder.Txn) {
+	uid := atoi(txn.Data)
+	am.CheckPermission("CAMERA", uid) // want `identity argument of CheckPermission \(permission decision\) derives from request payload bytes`
+}
+
+func constant(am *android.ActivityManager) {
+	am.CheckPermission("CAMERA", 1000) // want `identity argument of CheckPermission \(permission decision\) is a constant`
+}
+
+func policyFromPayload(p policy, txn binder.Txn) {
+	p.AllowDevice(string(txn.Data), "camera") // want `identity argument of AllowDevice \(permission decision\) derives from request payload bytes`
+}
+
+// helper becomes obligated: its uid parameter flows into a decision's
+// identity argument, so helper's call sites are decisions too.
+func helper(am *android.ActivityManager, uid int) bool {
+	return am.CheckPermission("CAMERA", uid)
+}
+
+func laundered(am *android.ActivityManager, txn binder.Txn) {
+	helper(am, atoi(txn.Data)) // want `identity argument of helper \(helper forwarding to a permission decision\) derives from request payload bytes`
+}
+
+func stamped(am *android.ActivityManager, txn binder.Txn) bool {
+	return am.CheckPermission("CAMERA", txn.Sender.UID)
+}
+
+func stampedParam(s binder.Sender) bool {
+	return android.CheckPermissionData("CAMERA", s.UID)
+}
+
+func reviewed(am *android.ActivityManager, txn binder.Txn) {
+	am.CheckPermission("CAMERA", atoi(txn.Data)) //vet:allow sendertaint the uid is the query subject, not the caller identity
+}

@@ -44,8 +44,11 @@ var (
 // PublishHook lets AnDrone customize ServiceManager registration behaviour:
 // the device container's ServiceManager publishes whitelisted device
 // services to all namespaces, and virtual drone ServiceManagers publish
-// their ActivityManager to the device container.
-type PublishHook func(sm *ServiceManager, name string, h binder.Handle)
+// their ActivityManager to the device container. A hook error fails the
+// registration (the entry is rolled back): a half-published service — in
+// particular an ActivityManager the device container cannot reach for
+// permission checks — must not linger looking healthy.
+type PublishHook func(sm *ServiceManager, name string, h binder.Handle) error
 
 // ServiceManager is the userspace Context Manager: it retains the mapping of
 // service names to handles given at registration time and hands out
@@ -101,7 +104,16 @@ func (sm *ServiceManager) handleTxn(txn binder.Txn) (binder.Reply, error) {
 			sm.mu.Unlock()
 		})
 		if hook != nil {
-			hook(sm, name, txn.Objects[0])
+			if err := hook(sm, name, txn.Objects[0]); err != nil {
+				// Roll the registration back so a lookup cannot find a
+				// service whose cross-namespace publication failed.
+				sm.mu.Lock()
+				if sm.services[name] == node {
+					delete(sm.services, name)
+				}
+				sm.mu.Unlock()
+				return binder.Reply{}, fmt.Errorf("android: publish hook for %q: %w", name, err)
+			}
 		}
 		return binder.Reply{}, nil
 	case binder.CodeGetService, binder.CodeCheckService:
@@ -237,7 +249,11 @@ func (am *ActivityManager) handleTxn(txn binder.Txn) (binder.Reply, error) {
 		if err != nil {
 			return binder.Reply{}, fmt.Errorf("android: bad uid: %w", err)
 		}
-		if am.CheckPermission(string(parts[0]), uid) {
+		// The uid here names the subject being queried ABOUT, not the
+		// caller: devcon derives it from its own Binder-stamped sender
+		// before bridging the query across containers. The caller's own
+		// identity is txn.Sender, which gates nothing on this path.
+		if am.CheckPermission(string(parts[0]), uid) { //vet:allow sendertaint uid is the query subject forwarded by devcon, not the caller identity
 			return binder.Reply{Data: []byte("granted")}, nil
 		}
 		return binder.Reply{Data: []byte("denied")}, nil

@@ -69,14 +69,18 @@ func vfcPosition(ctx *core.AppContext) (geo.Position, bool) {
 
 // releaseDevice tells a device service the client is done with it — the
 // voluntary release the AnDrone SDK contract expects on waypointInactive,
-// without which the VDC terminates the process.
-func releaseDevice(client *android.Client, service string) {
+// without which the VDC terminates the process. A failure is returned, not
+// swallowed: callers decide whether release is best-effort for them.
+func releaseDevice(client *android.Client, service string) error {
 	if client == nil {
-		return
+		return nil
 	}
-	if h, err := client.GetService(service); err == nil {
-		_, _, _ = client.Call(h, devcon.CmdRelease, nil)
+	h, err := client.GetService(service)
+	if err != nil {
+		return nil // service unreachable: no lease to release
 	}
+	_, _, err = client.Call(h, devcon.CmdRelease, nil)
+	return err
 }
 
 // gotoVFC sends a guided position target through the VFC.
@@ -151,8 +155,9 @@ func NewSurvey(ctx *core.AppContext) android.Lifecycle {
 		Inactive: func(geo.Waypoint) {
 			s.setActive(false)
 			// Voluntarily release the camera so the VDC does not have to
-			// terminate us (paper §4.4).
-			releaseDevice(s.clientIfAny(), devcon.SvcCamera)
+			// terminate us (paper §4.4). Best-effort from a void listener:
+			// if the release fails, VDC revocation is the backstop.
+			_ = releaseDevice(s.clientIfAny(), devcon.SvcCamera) //vet:allow errflow voluntary release; VDC enforcement is the backstop
 		},
 		Breached: func() { s.setActive(false) }, // wait for control to return
 	})

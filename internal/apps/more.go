@@ -45,7 +45,8 @@ func NewPhoto(ctx *core.AppContext) android.Lifecycle {
 		Active: func(geo.Waypoint) { p.setActive(true) },
 		Inactive: func(geo.Waypoint) {
 			p.setActive(false)
-			releaseDevice(p.client, devcon.SvcCamera)
+			// Best-effort from a void listener; VDC revocation is the backstop.
+			_ = releaseDevice(p.client, devcon.SvcCamera) //vet:allow errflow voluntary release; VDC enforcement is the backstop
 		},
 	})
 	return p

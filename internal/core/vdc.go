@@ -529,8 +529,13 @@ func (v *VDC) WaypointLeft(name string, idx int) error {
 	// Notify first: apps are expected to voluntarily disable device access.
 	vd.deliver(sdk.Event{Kind: sdk.EventWaypointInactive, Waypoint: wp})
 
+	// Flight-control withdrawal is a security boundary: a VFC left active
+	// lets the tenant keep flying past its waypoint grant. Run the rest of
+	// the revocation (device kills, resume of other parties) regardless,
+	// then report the failure to the caller.
+	var deactivateErr error
 	if fc {
-		_ = v.drone.Proxy.Deactivate(name)
+		deactivateErr = v.drone.Proxy.Deactivate(name)
 	}
 
 	vd.mu.Lock()
@@ -549,6 +554,9 @@ func (v *VDC) WaypointLeft(name string, idx int) error {
 
 	v.enforceRevocation(vd)
 	v.resumeOthers(name)
+	if deactivateErr != nil {
+		return fmt.Errorf("core: withdrawing flight control from %s: %w", name, deactivateErr)
+	}
 	return nil
 }
 

@@ -126,15 +126,19 @@ func New(d *binder.Driver, reg *devices.Registry, policy Policy) (*DeviceContain
 	for _, s := range SharedServices {
 		shared[s] = true
 	}
-	hook := func(sm *android.ServiceManager, name string, h binder.Handle) {
+	hook := func(sm *android.ServiceManager, name string, h binder.Handle) error {
 		// When the device container's ServiceManager receives a new service
 		// registration it checks the pre-specified shared list and publishes
-		// matches to all running (and future) virtual drone namespaces.
+		// matches to all running (and future) virtual drone namespaces. A
+		// failed publish fails the registration: a device service invisible
+		// to tenant namespaces (and absent from the kernel-side replay list)
+		// must not come up looking healthy.
 		if shared[name] {
-			// Publish failures surface on the next lookup; the kernel-side
-			// replay covers future namespaces.
-			_ = sm.Proc().PublishToAllNS(name, h)
+			if err := sm.Proc().PublishToAllNS(name, h); err != nil {
+				return fmt.Errorf("devcon: publishing %s to all namespaces: %w", name, err)
+			}
 		}
+		return nil
 	}
 	inst, err := android.Boot(ns, android.WithServiceManagerHook(hook))
 	if err != nil {
@@ -475,10 +479,17 @@ func (s *deviceService) serve(txn binder.Txn) (binder.Reply, error) {
 // shared device services can perform cross-container permission checks. The
 // flight container's HAL bridge boots the same way.
 func BootBridged(ns *binder.Namespace) (*android.Instance, error) {
-	hook := func(sm *android.ServiceManager, name string, h binder.Handle) {
+	hook := func(sm *android.ServiceManager, name string, h binder.Handle) error {
 		if name == android.ActivityService {
-			_ = sm.Proc().PublishToDevCon(name, h)
+			// Without this publication the device container cannot bridge
+			// checkPermission back to this container's ActivityManager, so
+			// every later device request would be refused (or worse, served
+			// against a stale manager). Fail the boot loudly instead.
+			if err := sm.Proc().PublishToDevCon(name, h); err != nil {
+				return fmt.Errorf("devcon: publishing %s to device container: %w", name, err)
+			}
 		}
+		return nil
 	}
 	return android.Boot(ns, android.WithServiceManagerHook(hook))
 }

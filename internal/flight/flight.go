@@ -64,8 +64,12 @@ var (
 // sequence.
 type BreachAction func(c *Controller)
 
-// FailsafeLand is the stock geofence breach action: switch to LAND.
-func FailsafeLand(c *Controller) { _ = c.SetModeNum(mavlink.ModeLand) }
+// FailsafeLand is the stock geofence breach action: switch to LAND. It is
+// the last resort — there is no safer state to fall back to if the mode
+// switch itself is refused.
+func FailsafeLand(c *Controller) {
+	_ = c.SetModeNum(mavlink.ModeLand) //vet:allow errflow last-resort failsafe; no safer fallback exists
+}
 
 // Limits bound what the controller will do regardless of commands.
 type Limits struct {

@@ -272,11 +272,31 @@ func (p *Proxy) onBreach(v *VFC) {
 	v.mu.Unlock()
 	v.pushEvent(&mavlink.StatusText{Severity: mavlink.SeverityWarning, Text: "geofence breached"})
 
-	// Step 3: guide the drone back inside the geofence.
-	recover := fence.ClosestInside(p.fc.Estimate())
-	_ = p.fc.SetModeNum(mavlink.ModeGuided)
-	_ = p.fc.GotoPosition(recover, 0)
+	// Step 3: guide the drone back inside the geofence. A rejected command
+	// must not strand the drone outside the fence with the VFC locked out:
+	// Tick retries until the guidance sticks, then escalates to the land
+	// failsafe.
+	if err := p.guideBack(fence); err != nil {
+		v.mu.Lock()
+		v.guidePending = true
+		v.mu.Unlock()
+		v.pushEvent(&mavlink.StatusText{Severity: mavlink.SeverityWarning, Text: "breach recovery command rejected; retrying"})
+	}
 }
+
+// guideBack points the flight controller at the closest position inside
+// the fence under guided mode.
+func (p *Proxy) guideBack(fence geo.Fence) error {
+	target := fence.ClosestInside(p.fc.Estimate())
+	if err := p.fc.SetModeNum(mavlink.ModeGuided); err != nil {
+		return err
+	}
+	return p.fc.GotoPosition(target, 0)
+}
+
+// maxRecoverAttempts bounds guided-recovery retries before the proxy gives
+// up and lands the drone.
+const maxRecoverAttempts = 10
 
 // Tick progresses breach recoveries; the flight container runs it
 // periodically (the orchestrator calls it between control steps). When a
@@ -294,20 +314,51 @@ func (p *Proxy) Tick() {
 		v.mu.Lock()
 		needsCheck := v.recovering && v.state == VFCActive
 		fence := v.fence
+		pending := v.guidePending
 		v.mu.Unlock()
 		if !needsCheck {
 			continue
 		}
 		pos := p.fc.Estimate()
 		if fence.Margin(pos) > 0.05*fence.Radius {
-			// Step 4: hold position, then return control.
-			_ = p.fc.SetModeNum(mavlink.ModeLoiter)
+			// Step 4: hold position, then return control. If the hold
+			// command is rejected, keep the VFC locked out and retry on the
+			// next tick rather than handing back control mid-drift.
+			if err := p.fc.SetModeNum(mavlink.ModeLoiter); err != nil {
+				continue
+			}
 			v.mu.Lock()
 			v.recovering = false
 			v.cmdsDisabled = false
+			v.guidePending = false
+			v.recoverTries = 0
 			v.mu.Unlock()
 			v.pushEvent(&mavlink.StatusText{Severity: mavlink.SeverityInfo, Text: "geofence recovered; control returned"})
+			continue
 		}
+		if !pending {
+			continue
+		}
+		// Still outside the fence with no accepted guidance: retry, and
+		// land as a last resort when the controller keeps refusing.
+		if err := p.guideBack(fence); err != nil {
+			v.mu.Lock()
+			v.recoverTries++
+			giveUp := v.recoverTries >= maxRecoverAttempts
+			if giveUp {
+				v.guidePending = false
+			}
+			v.mu.Unlock()
+			if giveUp {
+				v.pushEvent(&mavlink.StatusText{Severity: mavlink.SeverityCritical, Text: "breach recovery failed; landing"})
+				flight.FailsafeLand(p.fc)
+			}
+			continue
+		}
+		v.mu.Lock()
+		v.guidePending = false
+		v.recoverTries = 0
+		v.mu.Unlock()
 	}
 }
 
@@ -324,6 +375,8 @@ type VFC struct {
 	continuous   bool
 	cmdsDisabled bool
 	recovering   bool
+	guidePending bool // breach guidance not yet accepted; Tick retries
+	recoverTries int  // consecutive rejected recovery attempts
 	missionOwned bool // this VFC uploaded the currently loaded mission
 	events       []mavlink.Message
 	seq          uint32
