@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet androne-vet vet-ip sim fuzz cover check clean
+.PHONY: all build test race vet androne-vet vet-ip sim telemetry fuzz cover check clean
 
 all: build
 
@@ -53,6 +53,20 @@ sim: build
 		echo "sabotaged scenario did NOT fail"; exit 1; \
 	else echo "example broken-whitelist.json: violation detected (expected)"; fi
 
+# Telemetry gate: the deterministic black-box replay tests (a sabotaged
+# scenario's FlightRecord must contain the injected fault, the VFC's
+# rejection, and the VDC decision, bit-identical across replays), plus
+# proof that a sabotaged run writes violation FlightRecords to
+# telemetry-records/ for inspection with androne-trace. See DESIGN.md
+# "Telemetry & flight recorder".
+telemetry: build
+	$(GO) test -run 'TestFlightRecord' ./internal/simharness
+	@rm -rf telemetry-records
+	@if $(GO) run ./cmd/androne-sim -quiet -scenario sabotage-whitelist -record-dir telemetry-records 2>/dev/null; then \
+		echo "sabotaged scenario did NOT fail"; exit 1; \
+	else ls telemetry-records/*violation* >/dev/null 2>&1 || { echo "no violation FlightRecord written"; exit 1; }; \
+	echo "telemetry: violation black box recorded"; fi
+
 # Fuzz smoke: each native fuzz target for FUZZTIME (default 15s) on top of
 # its checked-in seed corpus (testdata/fuzz/).
 fuzz:
@@ -71,7 +85,7 @@ cover:
 		{ echo "total coverage $$total% fell below the $$floor% floor"; exit 1; }
 
 # Everything CI enforces, in CI's order.
-check: build vet vet-ip test race sim fuzz
+check: build vet vet-ip test race sim telemetry fuzz
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,319 @@
+// The machine-readable performance baseline: testing.Benchmark over the
+// stack's instrumented hot paths, emitted as BENCH_baseline.json so later
+// changes can be diffed against it. Each instrumented op is measured with
+// telemetry enabled and disabled; the derived overhead percentages are the
+// flight recorder's cost on that path (budget: <= 5%, see DESIGN.md).
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"androne/internal/binder"
+	"androne/internal/flight"
+	"androne/internal/geo"
+	"androne/internal/mavlink"
+	"androne/internal/mavproxy"
+	"androne/internal/telemetry"
+)
+
+// benchOp is one measured operation.
+type benchOp struct {
+	Op       string  `json:"op"`
+	NsPerOp  float64 `json:"ns-op"`
+	AllocsOp int64   `json:"allocs-op"`
+	BytesOp  int64   `json:"bytes-op"`
+}
+
+// benchOverhead is the enabled-vs-disabled cost of telemetry on one op.
+type benchOverhead struct {
+	Op          string  `json:"op"`
+	EnabledNs   float64 `json:"enabled-ns-op"`
+	DisabledNs  float64 `json:"disabled-ns-op"`
+	OverheadPct float64 `json:"overhead-pct"`
+}
+
+// benchBaseline is the BENCH_baseline.json document.
+type benchBaseline struct {
+	Ops      []benchOp       `json:"ops"`
+	Overhead []benchOverhead `json:"telemetry-overhead"`
+}
+
+// measureRounds is how many enabled/disabled testing.Benchmark pairs each
+// op is measured for; the reported ns/op is the least-perturbed pass of
+// each mode. These absolute figures carry run-to-run noise of several ns
+// (GC and ramp-up state differ between one-second runs), which is why the
+// overhead percentage is NOT derived from them — see overheadPctOf.
+const measureRounds = 3
+
+func measureOnce(f func(n int)) benchOp {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b.N)
+	})
+	return benchOp{
+		NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsOp: res.AllocsPerOp(),
+		BytesOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+// overheadPctOf measures the recorder's relative cost on one op with
+// fine-grained interleaved A/B segments: short enabled/disabled bursts
+// alternate every few milliseconds, so both modes sample the same noise
+// environment (CPU frequency, GC phase, background load), and the median
+// of the per-pair deltas isolates the true enabled-vs-disabled gap.
+// Comparing two independent one-second testing.Benchmark runs instead
+// shows apparent swings of +-10% on these ~100ns ops — far larger than
+// the recorder's real cost.
+// Within a pair, which mode runs first alternates pair to pair: the first
+// segment of a pair systematically differs from the second (it inherits
+// the GC debt and cache state of the previous pair), so a fixed order
+// would charge that asymmetry to one mode. The per-pair deltas therefore
+// form two clusters — true cost plus the position bias, and true cost
+// minus it — and the estimate is the average of the two clusters' medians,
+// cancelling the bias while staying robust to outlier segments.
+func overheadPctOf(f func(n int)) float64 {
+	const segIters = 100000
+	const segPairs = 20
+	f(segIters) // warm up caches and the benchmark path itself
+	run := func(en bool) float64 {
+		telemetry.SetEnabled(en)
+		t0 := time.Now()
+		f(segIters)
+		return float64(time.Since(t0).Nanoseconds()) / segIters
+	}
+	var onFirst, offFirst []float64
+	for s := 0; s < segPairs; s++ {
+		runtime.GC() // start each pair from a comparable heap state
+		var onNs, offNs float64
+		if s%2 == 0 {
+			onNs = run(true)
+			offNs = run(false)
+		} else {
+			offNs = run(false)
+			onNs = run(true)
+		}
+		if offNs > 0 {
+			pct := (onNs - offNs) / offNs * 100
+			if s%2 == 0 {
+				onFirst = append(onFirst, pct)
+			} else {
+				offFirst = append(offFirst, pct)
+			}
+		}
+	}
+	telemetry.SetEnabled(true)
+	return (median(onFirst) + median(offFirst)) / 2
+}
+
+func minOp(a, b benchOp) benchOp {
+	if b.NsPerOp < a.NsPerOp {
+		return b
+	}
+	return a
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// baselineOps builds the benchmark set. Each setup runs once; the returned
+// closures run n iterations of the op, panicking on unexpected results
+// (this is a measurement tool; any failure is a setup bug).
+func baselineOps(seed string) (map[string]func(n int), []string, error) {
+	// Binder: an echo service behind a context manager, transacted on the
+	// user path (the ioctl the paper measures).
+	drv := binder.NewDriver()
+	drv.SetRecorder(telemetry.NewRecorder())
+	ns, err := drv.CreateNamespace("bench")
+	if err != nil {
+		return nil, nil, err
+	}
+	mgr := ns.Attach(1000) //vet:allow nsguard the bench measures the raw binder ioctl path itself
+	svcs := make(map[string]*binder.Node)
+	mgrNode := mgr.NewNode("servicemanager:bench", func(txn binder.Txn) (binder.Reply, error) {
+		switch txn.Code {
+		case binder.CodeAddService:
+			node, err := mgr.NodeFor(txn.Objects[0])
+			if err != nil {
+				return binder.Reply{}, err
+			}
+			svcs[string(txn.Data)] = node
+			return binder.Reply{}, nil
+		case binder.CodeGetService:
+			node, ok := svcs[string(txn.Data)]
+			if !ok {
+				return binder.Reply{}, fmt.Errorf("no such service %q", txn.Data)
+			}
+			return binder.Reply{Objects: []*binder.Node{node}}, nil
+		}
+		return binder.Reply{}, fmt.Errorf("unknown code %d", txn.Code)
+	})
+	if err := mgr.BecomeContextManager(mgrNode); err != nil { //vet:allow nsguard the bench measures the raw binder ioctl path itself
+		return nil, nil, err
+	}
+	client := ns.Attach(1000) //vet:allow nsguard the bench measures the raw binder ioctl path itself
+	echo := client.NewNode("echo", func(txn binder.Txn) (binder.Reply, error) {
+		return binder.Reply{Data: txn.Data}, nil
+	})
+	if _, _, err := client.Transact(0, binder.CodeAddService, []byte("echo"), []*binder.Node{echo}); err != nil { //vet:allow nsguard the bench measures the raw binder ioctl path itself
+		return nil, nil, err
+	}
+	_, handles, err := client.Transact(0, binder.CodeGetService, []byte("echo"), nil)
+	if err != nil || len(handles) != 1 {
+		return nil, nil, fmt.Errorf("resolving echo service: %v", err)
+	}
+	echoHandle := handles[0]
+	payload := []byte("0123456789abcdef")
+
+	// VFC: an active connection forwarding an accepted whitelisted command
+	// into the flight controller.
+	v := flight.NewVehicle(home, seed, flight.WithRecorder(telemetry.NewRecorder()))
+	v.StepSeconds(0.1)
+	proxy := mavproxy.New(v.Controller)
+	proxy.SetRecorder(telemetry.NewRecorder())
+	if _, err := proxy.NewVFC("bench", mavproxy.TemplateStandard(), false); err != nil {
+		return nil, nil, err
+	}
+	wp := geo.Waypoint{
+		Position:  geo.Position{LatLon: geo.OffsetNE(home.LatLon, 40, 0), Alt: 15},
+		MaxRadius: 40,
+	}
+	if err := proxy.Activate("bench", wp); err != nil {
+		return nil, nil, err
+	}
+	vfc, err := proxy.VFCByName("bench")
+	if err != nil {
+		return nil, nil, err
+	}
+	yaw := &mavlink.CommandLong{Command: mavlink.CmdConditionYaw, Param1: 45}
+
+	// Raw telemetry primitives.
+	rec := telemetry.NewRecorder()
+	kBench := telemetry.K("bench.op")
+	kDrone := telemetry.K("bench")
+	cBench := telemetry.NewCounter("androne_bench_baseline_ops_total",
+		"Scratch counter for the bench baseline.")
+
+	ops := map[string]func(n int){
+		"binder-transact": func(n int) {
+			for i := 0; i < n; i++ {
+				if _, _, err := client.Transact(echoHandle, binder.CodeUser, payload, nil); err != nil {
+					panic(err)
+				}
+			}
+		},
+		"vfc-send": func(n int) {
+			for i := 0; i < n; i++ {
+				if vfc.Send(yaw) == nil {
+					panic("whitelisted command was not acknowledged")
+				}
+			}
+		},
+		"flight-fastloop": func(n int) {
+			for i := 0; i < n; i++ {
+				v.Sim.Step(flight.FastLoopDT)
+				v.Controller.Step(flight.FastLoopDT)
+			}
+		},
+		"telemetry-emit": func(n int) {
+			for i := 0; i < n; i++ {
+				rec.Emit(kDrone, kBench, int64(i), 0, "")
+			}
+		},
+		"telemetry-counter": func(n int) {
+			for i := 0; i < n; i++ {
+				cBench.Inc()
+			}
+		},
+		"mavlink-roundtrip": func(n int) {
+			for i := 0; i < n; i++ {
+				frame, err := mavlink.Encode(uint8(i), 1, 1, yaw)
+				if err != nil {
+					panic(err)
+				}
+				if _, err := mavlink.Decode(frame); err != nil {
+					panic(err)
+				}
+			}
+		},
+	}
+	order := []string{
+		"binder-transact", "vfc-send", "flight-fastloop",
+		"telemetry-emit", "telemetry-counter", "mavlink-roundtrip",
+	}
+	return ops, order, nil
+}
+
+// instrumentedOps are the hot paths whose enabled-vs-disabled delta is the
+// recorder's overhead (the <= 5% budget applies to these).
+var instrumentedOps = []string{"binder-transact", "vfc-send", "flight-fastloop"}
+
+func baseline(out, seed string) error {
+	header("Performance baseline (testing.Benchmark over instrumented hot paths)")
+	ops, order, err := baselineOps(seed)
+	if err != nil {
+		return err
+	}
+
+	doc := benchBaseline{}
+	enabled := make(map[string]benchOp)
+	disabled := make(map[string]benchOp)
+	for _, name := range order {
+		on := benchOp{NsPerOp: math.Inf(1)}
+		off := benchOp{NsPerOp: math.Inf(1)}
+		for i := 0; i < measureRounds; i++ {
+			telemetry.SetEnabled(true)
+			on = minOp(on, measureOnce(ops[name]))
+			telemetry.SetEnabled(false)
+			off = minOp(off, measureOnce(ops[name]))
+		}
+		telemetry.SetEnabled(true)
+
+		on.Op = name
+		enabled[name] = on
+		doc.Ops = append(doc.Ops, on)
+		off.Op = name + "-disabled"
+		disabled[name] = off
+		doc.Ops = append(doc.Ops, off)
+
+		fmt.Printf("  %-22s %10.1f ns/op %4d allocs/op   (telemetry off: %.1f ns/op)\n",
+			name, on.NsPerOp, on.AllocsOp, off.NsPerOp)
+	}
+	for _, name := range instrumentedOps {
+		on, off := enabled[name], disabled[name]
+		pct := overheadPctOf(ops[name])
+		doc.Overhead = append(doc.Overhead, benchOverhead{
+			Op: name, EnabledNs: on.NsPerOp, DisabledNs: off.NsPerOp, OverheadPct: pct,
+		})
+		fmt.Printf("  %-22s recorder overhead %+.1f%%\n", name, pct)
+	}
+
+	if out != "" {
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  baseline written to %s\n", out)
+	}
+	return nil
+}

@@ -8,6 +8,11 @@
 //	androne-bench -exp fig11 -loops 1000000
 //
 // Experiments: table1, fig10, fig11, fig12, fig13, net, aed, sitl, all.
+//
+// The extra "baseline" experiment (not part of "all") benchmarks the
+// stack's instrumented hot paths with telemetry on and off and writes the
+// machine-readable result to -baseline-out (BENCH_baseline.json at the repo
+// root is the committed reference).
 package main
 
 import (
@@ -36,19 +41,21 @@ func main() {
 	loops := flag.Int("loops", 400000, "cyclictest loops per scenario")
 	netN := flag.Int("net-commands", 150000, "MAVLink commands for the network experiment")
 	seed := flag.String("seed", "androne", "deterministic seed")
+	baselineOut := flag.String("baseline-out", "", "write the baseline experiment's JSON here")
 	flag.Parse()
 
 	run := map[string]func() error{
-		"table1": table1,
-		"fig10":  fig10,
-		"fig11":  func() error { return fig11(*loops, *seed) },
-		"fig12":  fig12,
-		"fig13":  fig13,
-		"net":    func() error { return network(*netN, *seed) },
-		"gcs":    func() error { return gcsExperiment(*seed) },
-		"jitter": func() error { return jitter(*seed) },
-		"aed":    func() error { return aed(*seed) },
-		"sitl":   func() error { return sitlFlight(*seed) },
+		"table1":   table1,
+		"fig10":    fig10,
+		"fig11":    func() error { return fig11(*loops, *seed) },
+		"fig12":    fig12,
+		"fig13":    fig13,
+		"net":      func() error { return network(*netN, *seed) },
+		"gcs":      func() error { return gcsExperiment(*seed) },
+		"jitter":   func() error { return jitter(*seed) },
+		"aed":      func() error { return aed(*seed) },
+		"sitl":     func() error { return sitlFlight(*seed) },
+		"baseline": func() error { return baseline(*baselineOut, *seed) },
 	}
 	names := []string{"table1", "fig10", "fig11", "fig12", "fig13", "net", "gcs", "jitter", "aed", "sitl"}
 

@@ -11,6 +11,9 @@
 //
 //	POST /api/admin/fly       plan and fly all pending orders
 //	GET  /api/admin/bills     list settled bills by order id
+//	GET  /metrics             flight-recorder metrics (text exposition)
+//	GET  /debug/trace         recent trace events per fleet drone; filter
+//	                          with ?drone=<virtual drone name>
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"androne/internal/geo"
 	"androne/internal/sdk"
 	"androne/internal/service"
+	"androne/internal/telemetry"
 )
 
 func main() {
@@ -73,6 +77,36 @@ func main() {
 			})
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"flights": len(out), "reports": out})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, telemetry.DefaultRegistry.Exposition())
+	})
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		droneName := r.URL.Query().Get("drone")
+		key := telemetry.Key(0)
+		if droneName != "" {
+			// Lookup, not K: query strings must not grow the intern table.
+			k, ok := telemetry.Lookup(droneName)
+			if !ok {
+				writeJSON(w, http.StatusNotFound,
+					map[string]string{"error": "unknown drone: " + droneName})
+				return
+			}
+			key = k
+		}
+		type fleetTrace struct {
+			Fleet  int                     `json:"fleet"`
+			Events []telemetry.RecordEvent `json:"events"`
+		}
+		out := make([]fleetTrace, 0, len(svc.Fleet()))
+		for i, d := range svc.Fleet() {
+			out = append(out, fleetTrace{
+				Fleet:  i,
+				Events: telemetry.DecodeEvents(d.Tel.Snapshot(key)),
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /api/admin/bills", func(w http.ResponseWriter, r *http.Request) {
 		bills := make(map[string]map[string]float64)

@@ -13,7 +13,9 @@
 //
 // The tick-stamped event trace goes to stdout; invariant violations go to
 // stderr and make the command exit non-zero — CI and humans share one
-// harness.
+// harness. Every violation report carries the flight recorder's black-box
+// dump for that moment; -record-dir writes all FlightRecords of the run as
+// JSON files (inspect them with androne-trace).
 package main
 
 import (
@@ -21,8 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"androne/internal/simharness"
+	"androne/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +36,7 @@ func main() {
 	seed := flag.String("seed", "", "override the scenario's seed")
 	asJSON := flag.Bool("json", false, "emit the full result as JSON instead of a trace")
 	quiet := flag.Bool("quiet", false, "suppress the event trace (violations still print)")
+	recordDir := flag.String("record-dir", "", "write each FlightRecord of the run to this directory as JSON")
 	flag.Parse()
 
 	if *list {
@@ -86,10 +91,27 @@ func main() {
 		fmt.Print(res.Trace())
 	}
 
+	if *recordDir != "" {
+		if err := writeRecords(*recordDir, res); err != nil {
+			fatal("%v", err)
+		}
+		if !*quiet && !*asJSON {
+			fmt.Printf("%d flight record(s) written to %s\n", len(res.FlightRecords), *recordDir)
+		}
+	}
+
 	if !res.Passed() {
 		fmt.Fprintf(os.Stderr, "%d invariant violation(s):\n", len(res.Violations))
 		for _, v := range res.Violations {
 			fmt.Fprintf(os.Stderr, "  %s\n", v)
+			// Attach the black-box dump taken at the violation so the report
+			// is self-diagnosing.
+			for _, rec := range res.FlightRecords {
+				if rec.Trigger == "violation:"+v.Checker && rec.Drone == v.Drone && rec.Tick == uint64(v.Tick) {
+					fmt.Fprintf(os.Stderr, "    black box: trigger=%s tick=%d events=%d (last: %s)\n",
+						rec.Trigger, rec.Tick, len(rec.Events), lastKinds(rec, 5))
+				}
+			}
 		}
 		os.Exit(1)
 	}
@@ -101,4 +123,55 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "androne-sim: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// lastKinds summarizes the tail of a record's event stream.
+func lastKinds(rec telemetry.FlightRecord, n int) string {
+	start := len(rec.Events) - n
+	if start < 0 {
+		start = 0
+	}
+	out := ""
+	for _, ev := range rec.Events[start:] {
+		if out != "" {
+			out += " "
+		}
+		out += ev.Kind
+	}
+	return out
+}
+
+// writeRecords writes each FlightRecord as its own JSON file, named by
+// order, trigger, and drone so a directory listing reads as a timeline.
+func writeRecords(dir string, res *simharness.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, rec := range res.FlightRecords {
+		name := fmt.Sprintf("%03d-%s", i, sanitize(rec.Trigger))
+		if rec.Drone != "" {
+			name += "-" + sanitize(rec.Drone)
+		}
+		raw, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".json"), raw, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitize maps a trigger/drone label to a filename-safe token.
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '.':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
 }

@@ -1,0 +1,203 @@
+// Command androne-trace inspects saved FlightRecord files — the black-box
+// dumps written by androne-sim -record-dir, the simharness, or any caller
+// of telemetry.Dump.
+//
+// Usage:
+//
+//	androne-trace record.json...                 pretty-print records
+//	androne-trace -drone tenant record.json      only one drone's records
+//	androne-trace -kind vfc.reject record.json   only matching events
+//	androne-trace -last 20 record.json           last N events per record
+//	androne-trace -diff a.json b.json            diff two record files
+//
+// A file may hold one record (JSON object) or many (JSON array).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"androne/internal/telemetry"
+)
+
+func main() {
+	drone := flag.String("drone", "", "only records for this drone")
+	kind := flag.String("kind", "", "only events whose kind contains this substring")
+	last := flag.Int("last", 0, "only the last N events of each record (0 = all)")
+	diff := flag.Bool("diff", false, "diff exactly two record files")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal("-diff needs exactly two files")
+		}
+		a, err := loadRecords(flag.Arg(0), *drone)
+		if err != nil {
+			fatal("%v", err)
+		}
+		b, err := loadRecords(flag.Arg(1), *drone)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if n := diffRecords(os.Stdout, flag.Arg(0), a, flag.Arg(1), b, *kind, *last); n > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("records identical")
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fatal("no record files (try: androne-sim -scenario breach-loiter -record-dir recs)")
+	}
+	for _, path := range flag.Args() {
+		recs, err := loadRecords(path, *drone)
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, rec := range recs {
+			printRecord(os.Stdout, path, rec, *kind, *last)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "androne-trace: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// loadRecords reads a record file and applies the drone filter.
+func loadRecords(path, drone string) ([]telemetry.FlightRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := telemetry.ParseRecords(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if drone == "" {
+		return recs, nil
+	}
+	out := recs[:0:0]
+	for _, rec := range recs {
+		if rec.Drone == drone {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// renderEvents formats a record's events (after kind/last filtering), one
+// line per event.
+func renderEvents(rec telemetry.FlightRecord, kind string, last int) []string {
+	events := rec.Events
+	if kind != "" {
+		kept := events[:0:0]
+		for _, ev := range events {
+			if strings.Contains(ev.Kind, kind) {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+	}
+	if last > 0 && len(events) > last {
+		events = events[len(events)-last:]
+	}
+	out := make([]string, 0, len(events))
+	for _, ev := range events {
+		line := fmt.Sprintf("  [%06d t%05d] %-20s", ev.Seq, ev.Tick, ev.Kind)
+		if ev.Drone != "" {
+			line += " " + ev.Drone
+		}
+		if ev.A != 0 || ev.B != 0 {
+			line += fmt.Sprintf(" a=%d b=%d", ev.A, ev.B)
+		}
+		if ev.Note != "" {
+			line += " " + ev.Note
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func recordHeader(rec telemetry.FlightRecord) string {
+	h := fmt.Sprintf("record trigger=%s tick=%d seq=%d", rec.Trigger, rec.Tick, rec.Seq)
+	if rec.Drone != "" {
+		h += " drone=" + rec.Drone
+	}
+	if len(rec.Meta) > 0 {
+		keys := make([]string, 0, len(rec.Meta))
+		for k := range rec.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h += fmt.Sprintf(" %s=%g", k, rec.Meta[k])
+		}
+	}
+	return h
+}
+
+func printRecord(w *os.File, path string, rec telemetry.FlightRecord, kind string, last int) {
+	fmt.Fprintf(w, "%s: %s\n", path, recordHeader(rec))
+	for _, line := range renderEvents(rec, kind, last) {
+		fmt.Fprintln(w, line)
+	}
+}
+
+// diffRecords compares two record files record-by-record and line-by-line,
+// returning the number of differences printed.
+func diffRecords(w *os.File, pathA string, a []telemetry.FlightRecord,
+	pathB string, b []telemetry.FlightRecord, kind string, last int) int {
+	diffs := 0
+	if len(a) != len(b) {
+		fmt.Fprintf(w, "record count: %s has %d, %s has %d\n", pathA, len(a), pathB, len(b))
+		diffs++
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		ha, hb := recordHeader(a[i]), recordHeader(b[i])
+		la, lb := renderEvents(a[i], kind, last), renderEvents(b[i], kind, last)
+		if ha == hb && equalLines(la, lb) {
+			continue
+		}
+		diffs++
+		fmt.Fprintf(w, "record %d differs:\n", i)
+		if ha != hb {
+			fmt.Fprintf(w, "- %s\n+ %s\n", ha, hb)
+		}
+		m := len(la)
+		if len(lb) > m {
+			m = len(lb)
+		}
+		for j := 0; j < m; j++ {
+			switch {
+			case j >= len(la):
+				fmt.Fprintf(w, "+%s\n", lb[j])
+			case j >= len(lb):
+				fmt.Fprintf(w, "-%s\n", la[j])
+			case la[j] != lb[j]:
+				fmt.Fprintf(w, "-%s\n+%s\n", la[j], lb[j])
+			}
+		}
+	}
+	return diffs
+}
+
+func equalLines(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

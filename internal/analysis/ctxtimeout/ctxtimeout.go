@@ -38,12 +38,16 @@ var Analyzer = &framework.Analyzer{
 
 // scoped returns whether pkgPath is in the analyzer's jurisdiction. The
 // service plane owns network entry points; flight-side packages have their
-// own timing discipline (the 400 Hz loop) and are out of scope.
+// own timing discipline (the 400 Hz loop) and are out of scope. The
+// telemetry plane is in scope because its background flusher is the one
+// long-lived goroutine outside the service plane: an uncancellable flusher
+// would pin a drone's recorder forever.
 func scoped(pkgPath string) bool {
 	for _, s := range []string{
 		"androne/internal/cloud",
 		"androne/internal/gcs",
 		"androne/internal/service",
+		"androne/internal/telemetry",
 		"androne/cmd/",
 	} {
 		if strings.Contains(pkgPath, s) || strings.HasSuffix(pkgPath, strings.TrimSuffix(s, "/")) {

@@ -10,6 +10,7 @@ import (
 func TestCtxTimeout(t *testing.T) {
 	analysistest.Run(t, "testdata", ctxtimeout.Analyzer,
 		"androne/internal/cloud",
+		"androne/internal/telemetry",
 		"unscoped",
 	)
 }

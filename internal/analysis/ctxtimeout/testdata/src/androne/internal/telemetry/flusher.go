@@ -1,0 +1,35 @@
+// Package telemetry is a fixture stub at the real import path so
+// ctxtimeout's jurisdiction applies: the flight recorder's background
+// flusher is a long-lived goroutine and must carry a cancellation path.
+package telemetry
+
+import "time"
+
+// StartFlusher mirrors the production flusher: ticker with deferred Stop,
+// a done channel selected alongside the tick — compliant, no findings.
+func StartFlusher(interval time.Duration, flush func()) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				flush()
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// startSpinner is the anti-pattern: a flusher loop nothing can ever stop.
+func startSpinner(flush func()) {
+	go func() { // want `goroutine has no cancellation or completion path`
+		for {
+			flush()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}

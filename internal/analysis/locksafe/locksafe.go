@@ -9,6 +9,12 @@
 //     values) must not happen while a lock is held: the callee can block
 //     indefinitely or call back into the locked component, which is exactly
 //     how the paper's WaypointListener / VDC callback paths deadlock;
+//   - the flight recorder's emission and interning entry points (Emit,
+//     Dump, K) must not be called while a lock is held: they take the
+//     recorder's own stripe/table locks, nesting lock orders across
+//     components. The telemetry package itself is exempt (its internals
+//     run under those locks by construction), as are its lock-sharded
+//     counters (LocalCount), which exist precisely for under-lock use;
 //   - conditional branches and loop bodies must leave the lock state they
 //     found, otherwise later code runs with an unknowable lock state.
 //
@@ -27,6 +33,7 @@ import (
 	"go/printer"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"androne/internal/analysis/framework"
 )
@@ -385,6 +392,7 @@ func (c *checker) scanExpr(e ast.Expr, st state) state {
 				return false // receiver already accounted for
 			}
 			c.checkDynamicCall(n, st)
+			c.checkTelemetryCall(n, st)
 		}
 		return true
 	})
@@ -495,6 +503,47 @@ func (c *checker) checkDynamicCall(call *ast.CallExpr, st state) {
 				fn.Sel.Name, key, c.pos(st[key].lockPos))
 		}
 	}
+}
+
+// telemetryPkgSuffix identifies the flight-recorder package. Matching by
+// suffix keeps the rule working for the analyzer fixtures, which place a
+// stub at the same androne/internal/telemetry import path.
+const telemetryPkgSuffix = "internal/telemetry"
+
+// telemetryEntryPoints are the telemetry calls that take recorder-internal
+// locks (ring stripes, the key-intern table). Counter/Gauge updates are
+// lock-free atomics and LocalCount is designed for under-lock use, so none
+// of those are listed.
+var telemetryEntryPoints = map[string]bool{
+	"Emit": true,
+	"Dump": true,
+	"K":    true,
+}
+
+// checkTelemetryCall reports Emit/Dump/K calls into the telemetry package
+// made while a lock is held. The telemetry package itself is exempt: its
+// striped rings run under their own locks by construction.
+func (c *checker) checkTelemetryCall(call *ast.CallExpr, st state) {
+	key := st.anyHeld()
+	if key == "" {
+		return
+	}
+	if strings.HasSuffix(c.pass.Pkg.Path(), telemetryPkgSuffix) {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), telemetryPkgSuffix) {
+		return
+	}
+	if !telemetryEntryPoints[fn.Name()] {
+		return
+	}
+	c.pass.Reportf(call.Pos(), "telemetry %s while holding %s (locked at %s): emission and interning take recorder locks; hoist the call outside the critical section",
+		fn.Name(), key, c.pos(st[key].lockPos))
 }
 
 // lockOp reports whether call is a Lock/Unlock/RLock/RUnlock on a

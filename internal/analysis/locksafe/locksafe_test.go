@@ -8,5 +8,9 @@ import (
 )
 
 func TestLocksafe(t *testing.T) {
-	analysistest.Run(t, "testdata", locksafe.Analyzer, "locktest")
+	analysistest.Run(t, "testdata", locksafe.Analyzer,
+		"locktest",
+		"teltest",
+		"androne/internal/telemetry",
+	)
 }

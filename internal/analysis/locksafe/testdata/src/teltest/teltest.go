@@ -1,0 +1,74 @@
+// Package teltest exercises locksafe's telemetry rule: the flight
+// recorder's Emit/Dump/K entry points take recorder-internal locks and must
+// be called outside any production critical section, while the lock-sharded
+// counters (LocalCount) are the sanctioned under-lock instrument.
+package teltest
+
+import (
+	"sync"
+
+	"androne/internal/telemetry"
+)
+
+// VFC stands in for an instrumented production component.
+type VFC struct {
+	mu    sync.Mutex
+	tel   *telemetry.Recorder
+	key   telemetry.Key
+	state int
+	sends *telemetry.LocalCount
+}
+
+// Bad: an event emitted under a held production lock is flagged — Emit
+// takes the recorder's stripe locks.
+func (v *VFC) BadEmit(kind telemetry.Key) {
+	v.mu.Lock()
+	v.state++
+	v.tel.Emit(v.key, kind, 0, 0, "") // want `telemetry Emit while holding v\.mu`
+	v.mu.Unlock()
+}
+
+// Bad: interning under a lock takes the global key table's lock.
+func (v *VFC) BadIntern(name string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.key = telemetry.K(name) // want `telemetry K while holding v\.mu`
+}
+
+// Bad: a black-box dump under a lock walks every ring stripe.
+func (v *VFC) BadDump() {
+	v.mu.Lock()
+	v.tel.Dump(v.key, "trigger", nil) // want `telemetry Dump while holding v\.mu`
+	v.mu.Unlock()
+}
+
+// Good: the production pattern — copy state under the lock, emit after.
+func (v *VFC) GoodHoisted(kind telemetry.Key) {
+	v.mu.Lock()
+	key := v.key
+	v.state++
+	v.mu.Unlock()
+	v.tel.Emit(key, kind, 0, 0, "")
+}
+
+// Good: interning before the critical section.
+func (v *VFC) GoodInternFirst(name string) {
+	key := telemetry.K(name)
+	v.mu.Lock()
+	v.key = key
+	v.mu.Unlock()
+}
+
+// Good: sharded counters exist precisely for under-lock use.
+func (v *VFC) GoodShard() {
+	v.mu.Lock()
+	v.sends.Inc()
+	v.mu.Unlock()
+}
+
+// Good: flushing the shard is likewise an under-lock operation.
+func (v *VFC) GoodShardFlush() {
+	v.mu.Lock()
+	v.sends.Flush()
+	v.mu.Unlock()
+}

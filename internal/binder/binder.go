@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"androne/internal/telemetry"
 )
 
 // Handle is a per-process reference to a node. Handle 0 always refers to the
@@ -110,7 +112,8 @@ func (n *Node) Name() string { return n.name }
 type Namespace struct {
 	driver *Driver
 	name   string
-	mgr    *Node // context manager node, nil until registered
+	key    telemetry.Key // interned name, cached for zero-cost emission
+	mgr    *Node         // context manager node, nil until registered
 }
 
 // Name returns the namespace (container) identifier.
@@ -152,6 +155,13 @@ type Driver struct {
 	// deathLinks maps a node's owner to the death-notification callbacks
 	// registered against that node (Binder's link-to-death).
 	deathLinks map[*Proc][]deathLink
+	// tel is the drone's flight recorder; nil when running without one.
+	// Set before use (SetRecorder), never written afterwards.
+	tel *telemetry.Recorder
+	// txns shards mTransactions under d.mu: Transact is the hot ioctl and a
+	// plain increment there avoids an atomic fence per call. FlushMetrics
+	// folds the batch in.
+	txns *telemetry.LocalCount
 }
 
 type deathLink struct {
@@ -170,6 +180,7 @@ func NewDriver() *Driver {
 		namespaces: make(map[string]*Namespace),
 		nextPID:    100,
 		deathLinks: make(map[*Proc][]deathLink),
+		txns:       mTransactions.Local(),
 	}
 }
 
@@ -177,12 +188,13 @@ func NewDriver() *Driver {
 // previously published with PUBLISH_TO_ALL_NS are delivered to the new
 // namespace's context manager as soon as one registers.
 func (d *Driver) CreateNamespace(name string) (*Namespace, error) {
+	key := telemetry.K(name) // intern outside d.mu: K takes its own lock
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.namespaces[name]; ok {
 		return nil, fmt.Errorf("binder: namespace %q already exists", name)
 	}
-	ns := &Namespace{driver: d, name: name}
+	ns := &Namespace{driver: d, name: name, key: key}
 	d.namespaces[name] = ns
 	return ns, nil
 }
@@ -361,14 +373,20 @@ func (p *Proc) NodeFor(h Handle) (*Node, error) {
 // passing any local nodes as objects. The reply's object references are
 // installed in p's handle table and returned as handles.
 func (p *Proc) Transact(h Handle, code uint32, data []byte, objects []*Node) ([]byte, []Handle, error) {
+	d := p.driver
 	if len(data) > MaxTransactionBytes {
+		mTransactions.Inc() // cold error path: direct atomic is fine
+		mTransactErrors.Inc()
+		d.tel.Emit(p.ns.key, kTxnError, int64(code), int64(len(data)), "too-large")
 		return nil, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
 	}
-	d := p.driver
 	d.mu.Lock()
+	d.txns.Inc() // sharded under d.mu; FlushMetrics folds the batch in
 	target, err := p.resolve(h)
 	if err != nil {
 		d.mu.Unlock()
+		mTransactErrors.Inc()
+		d.tel.Emit(p.ns.key, kTxnError, int64(code), int64(h), "resolve")
 		return nil, nil, err
 	}
 	sender := Sender{PID: p.pid, EUID: p.euid, Container: p.ns.name}
@@ -376,6 +394,8 @@ func (p *Proc) Transact(h Handle, code uint32, data []byte, objects []*Node) ([]
 
 	reply, err := d.transactLocked(sender, target, code, data, objects)
 	if err != nil {
+		mTransactErrors.Inc()
+		d.tel.Emit(p.ns.key, kTxnError, int64(code), 0, "deliver")
 		return nil, nil, err
 	}
 
@@ -452,6 +472,8 @@ func (p *Proc) PublishToAllNS(name string, h Handle) error {
 			return fmt.Errorf("binder: publishing %q to %q: %w", name, mgr.owner.ns.name, err)
 		}
 	}
+	mPublishes.Inc()
+	d.tel.Emit(0, kPublishAllNS, int64(len(managers)), 0, name)
 	return nil
 }
 
@@ -483,6 +505,10 @@ func (p *Proc) PublishToDevCon(name string, h Handle) error {
 	scoped := ScopedName(name, p.ns.name)
 	d.mu.Unlock()
 	_, err = d.transactLocked(kernelSender(), mgr, CodeAddService, []byte(scoped), []*Node{node})
+	if err == nil {
+		mPublishes.Inc()
+		d.tel.Emit(p.ns.key, kPublishDevCon, 0, 0, scoped)
+	}
 	return err
 }
 

@@ -1,0 +1,39 @@
+// Flight-recorder instrumentation for the binder plane. Transactions are
+// the hottest path in the stack, so they are counted with a plain shard
+// under d.mu (no per-call atomic fence) that FlushMetrics folds in; trace
+// events are reserved for the rare operations (publish ioctls and
+// transaction failures). All emissions happen outside d.mu — Emit takes
+// the recorder's own locks (enforced by the locksafe analyzer).
+
+package binder
+
+import "androne/internal/telemetry"
+
+var (
+	mTransactions = telemetry.NewCounter("androne_binder_transactions_total",
+		"Binder transactions submitted via Transact.")
+	mTransactErrors = telemetry.NewCounter("androne_binder_transaction_errors_total",
+		"Binder transactions that failed (bad handle, dead node, oversized).")
+	mPublishes = telemetry.NewCounter("androne_binder_publishes_total",
+		"PUBLISH_TO_ALL_NS and PUBLISH_TO_DEV_CON ioctls executed.")
+)
+
+// Trace event kinds.
+var (
+	kTxnError      = telemetry.K("binder.txn-error")
+	kPublishAllNS  = telemetry.K("binder.publish-all-ns")
+	kPublishDevCon = telemetry.K("binder.publish-devcon")
+)
+
+// SetRecorder attaches a flight recorder to the driver. Call once during
+// drone bring-up, before any process transacts.
+func (d *Driver) SetRecorder(r *telemetry.Recorder) { d.tel = r }
+
+// FlushMetrics folds the driver's sharded transaction count into the
+// process counter. The drone's tick loop calls this so /metrics lags by at
+// most one tick of transactions.
+func (d *Driver) FlushMetrics() {
+	d.mu.Lock()
+	d.txns.Flush()
+	d.mu.Unlock()
+}

@@ -11,6 +11,7 @@ import (
 	"androne/internal/geo"
 	"androne/internal/mavproxy"
 	"androne/internal/sitl"
+	"androne/internal/telemetry"
 )
 
 // Memory layout of the prototype (paper §6.3): 1 GB of RAM of which 880 MB
@@ -41,6 +42,10 @@ type Drone struct {
 	Proxy    *mavproxy.Proxy
 	VDC      *VDC
 	Log      *flight.Log
+	// Tel is the drone's flight recorder, shared by every onboard layer.
+	// Its tick advances with the stepping loop, so traces are deterministic
+	// under a fixed seed.
+	Tel *telemetry.Recorder
 
 	home geo.Position
 }
@@ -54,7 +59,7 @@ func NewDrone(home geo.Position, seed string) (*Drone, error) {
 // NewDroneWithStore boots a drone against an existing image store (shared
 // with the cloud VDR so virtual drones can move between drones).
 func NewDroneWithStore(home geo.Position, seed string, store *container.Store) (*Drone, error) {
-	d := &Drone{home: home}
+	d := &Drone{home: home, Tel: telemetry.NewRecorder()}
 
 	// Physics and hardware.
 	d.Sim = sitl.New(home, sitl.DefaultParams(), seed)
@@ -73,6 +78,7 @@ func NewDroneWithStore(home geo.Position, seed string, store *container.Store) (
 
 	// Binder driver and device container.
 	d.Driver = binder.NewDriver()
+	d.Driver.SetRecorder(d.Tel)
 	if _, err := d.Runtime.Create(devcon.NamespaceName, BaseImageName,
 		container.Limits{MemoryMB: MemDeviceConMB}); err != nil {
 		return nil, fmt.Errorf("core: device container: %w", err)
@@ -84,6 +90,7 @@ func NewDroneWithStore(home geo.Position, seed string, store *container.Store) (
 	if err != nil {
 		return nil, err
 	}
+	dc.SetRecorder(d.Tel)
 	d.DevCon = dc
 
 	// Flight container: real-time Linux + flight controller + MAVProxy,
@@ -113,8 +120,10 @@ func NewDroneWithStore(home geo.Position, seed string, store *container.Store) (
 	}
 	d.FC = flight.NewController(sensors, d.Sim, home,
 		flight.WithHoverFraction(sitl.DefaultParams().HoverThrustFrac()),
-		flight.WithLog(d.Log))
+		flight.WithLog(d.Log),
+		flight.WithRecorder(d.Tel))
 	d.Proxy = mavproxy.New(d.FC)
+	d.Proxy.SetRecorder(d.Tel)
 
 	// VDC, installed as the device container's access policy.
 	d.VDC = newVDC(d)
@@ -169,7 +178,9 @@ func (d *Drone) StepSeconds(seconds float64) {
 	for i := 0; i < steps; i++ {
 		d.Step(flight.FastLoopDT)
 		if i%40 == 0 {
+			d.Tel.AdvanceTick()
 			d.Proxy.Tick()
+			d.Driver.FlushMetrics()
 		}
 	}
 }
@@ -180,7 +191,9 @@ func (d *Drone) RunUntil(cond func() bool, timeoutS float64) bool {
 	for i := 0; i < steps; i++ {
 		d.Step(flight.FastLoopDT)
 		if i%40 == 0 {
+			d.Tel.AdvanceTick()
 			d.Proxy.Tick()
+			d.Driver.FlushMetrics()
 			if cond() {
 				return true
 			}

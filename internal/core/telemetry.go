@@ -1,0 +1,42 @@
+// Flight-recorder instrumentation for the Virtual Drone Controller: the
+// admission, grant/revocation, metering, and VDR decisions that explain
+// why a tenant gained or lost device and flight access. All emissions
+// happen outside v.mu/vd.mu (locksafe enforces this).
+
+package core
+
+import "androne/internal/telemetry"
+
+var (
+	mAdmissions = telemetry.NewCounter("androne_vdc_admissions_total",
+		"Virtual drones admitted (created or restored from the VDR).")
+	mAdmissionFails = telemetry.NewCounter("androne_vdc_admission_failures_total",
+		"Virtual drone create/restore attempts the VDC refused or failed.")
+	mRevocations = telemetry.NewCounter("androne_vdc_revocations_total",
+		"Waypoint grants revoked (WaypointLeft).")
+	mKills = telemetry.NewCounter("androne_vdc_kills_total",
+		"Processes killed for holding devices past a revocation notice.")
+	mSaves = telemetry.NewCounter("androne_vdc_saves_total",
+		"Virtual drones saved to the VDR.")
+	mExhaustions = telemetry.NewCounter("androne_vdc_exhaustions_total",
+		"Allotments that ran out mid-flight.")
+	mEnergySeconds = telemetry.NewCounter("androne_energy_debited_seconds_total",
+		"Dwell seconds debited against tenant allotments.")
+	mEnergyJoules = telemetry.NewCounter("androne_energy_debited_joules_total",
+		"Joules debited against tenant allotments.")
+)
+
+// Trace event kinds.
+var (
+	kAdmit           = telemetry.K("vdc.admit")
+	kAdmitFail       = telemetry.K("vdc.admit-fail")
+	kGrant           = telemetry.K("vdc.grant")
+	kRevoke          = telemetry.K("vdc.revoke")
+	kKill            = telemetry.K("vdc.kill")
+	kLowTime         = telemetry.K("vdc.low-time")
+	kLowEnergy       = telemetry.K("vdc.low-energy")
+	kExhausted       = telemetry.K("vdc.exhausted")
+	kVdcBreach       = telemetry.K("vdc.breach")
+	kControlReturned = telemetry.K("vdc.control-returned")
+	kSave            = telemetry.K("vdc.save")
+)

@@ -16,6 +16,7 @@ import (
 	"androne/internal/geo"
 	"androne/internal/mavproxy"
 	"androne/internal/sdk"
+	"androne/internal/telemetry"
 )
 
 // VDC errors.
@@ -83,6 +84,7 @@ type VirtualDrone struct {
 	Framebuffer *devices.Framebuffer
 
 	vdc  *VDC
+	key  telemetry.Key // interned Name, cached for zero-cost emission
 	sdks map[string]*sdk.SDK
 	apps map[string]android.Lifecycle
 	uids map[string]int
@@ -97,6 +99,7 @@ type VirtualDrone struct {
 	completeRequested bool
 	warnedTime        bool
 	warnedEnergy      bool
+	warnedExhausted   bool
 	marked            []string
 	netBytes          int64
 }
@@ -278,15 +281,24 @@ func (v *VDC) Restore(entry cloud.VDREntry) (*VirtualDrone, error) {
 
 func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) {
 	if def.Name == "" {
+		mAdmissionFails.Inc()
 		return nil, ErrNoName
 	}
 	if err := def.Validate(); err != nil {
+		mAdmissionFails.Inc()
 		return nil, err
 	}
 	name := def.Name
+	// Intern the drone key before taking any VDC lock: K takes its own lock.
+	key := telemetry.K(name)
+	admitFail := func(why string) {
+		mAdmissionFails.Inc()
+		v.drone.Tel.Emit(key, kAdmitFail, 0, 0, why)
+	}
 	v.mu.Lock()
 	if _, ok := v.vds[name]; ok {
 		v.mu.Unlock()
+		admitFail("duplicate")
 		return nil, fmt.Errorf("%w: %q", ErrVDExists, name)
 	}
 	v.mu.Unlock()
@@ -300,6 +312,7 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 		c, err = v.drone.Runtime.Create(name, BaseImageName, container.Limits{MemoryMB: MemVirtualDroneMB})
 	}
 	if err != nil {
+		admitFail("container")
 		return nil, err
 	}
 	if c.Name() != name {
@@ -308,6 +321,7 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 		// must not come up under this definition's identity.
 		_ = v.drone.Runtime.Stop(c.Name())
 		_ = v.drone.Runtime.Remove(c.Name())
+		admitFail("name-mismatch")
 		return nil, fmt.Errorf("%w: checkpoint %q, definition %q", ErrNameMismatch, c.Name(), name)
 	}
 	cleanup := func() {
@@ -317,6 +331,7 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 	}
 	if err := v.drone.Runtime.Start(name); err != nil {
 		_ = v.drone.Runtime.Remove(name)
+		admitFail("start")
 		return nil, err
 	}
 
@@ -324,11 +339,13 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 	ns, err := v.drone.Driver.CreateNamespace(name)
 	if err != nil {
 		cleanup()
+		admitFail("namespace")
 		return nil, err
 	}
 	inst, err := devcon.BootBridged(ns)
 	if err != nil {
 		cleanup()
+		admitFail("boot")
 		return nil, err
 	}
 
@@ -336,6 +353,7 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 	vfc, err := v.drone.Proxy.NewVFC(name, mavproxy.TemplateStandard(), len(def.ContinuousDevices) > 0)
 	if err != nil {
 		cleanup()
+		admitFail("vfc")
 		return nil, err
 	}
 
@@ -348,6 +366,7 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 		Allotment:   energy.NewAllotment(def.MaxDuration, def.EnergyAllotted),
 		Framebuffer: devices.NewFramebuffer("fb:"+name, 320, 240),
 		vdc:         v,
+		key:         key,
 		sdks:        make(map[string]*sdk.SDK),
 		apps:        make(map[string]android.Lifecycle),
 		uids:        make(map[string]int),
@@ -407,6 +426,7 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 		}
 		if err := inst.StartApp(pkg); err != nil {
 			cleanup()
+			admitFail("app-start")
 			return nil, err
 		}
 	}
@@ -414,6 +434,12 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 	v.mu.Lock()
 	v.vds[name] = vd
 	v.mu.Unlock()
+	mAdmissions.Inc()
+	how := "create"
+	if checkpoint != nil {
+		how = "restore"
+	}
+	v.drone.Tel.Emit(key, kAdmit, int64(len(def.Apps)), int64(len(def.Waypoints)), how)
 	return vd, nil
 }
 
@@ -509,6 +535,7 @@ func (v *VDC) WaypointReached(name string, idx int) error {
 			return err
 		}
 	}
+	v.drone.Tel.Emit(vd.key, kGrant, int64(idx), 0, "")
 	vd.deliver(sdk.Event{Kind: sdk.EventWaypointActive, Waypoint: wp})
 	return nil
 }
@@ -552,6 +579,8 @@ func (v *VDC) WaypointLeft(name string, idx int) error {
 	}
 	vd.mu.Unlock()
 
+	mRevocations.Inc()
+	v.drone.Tel.Emit(vd.key, kRevoke, int64(idx), 0, "")
 	v.enforceRevocation(vd)
 	v.resumeOthers(name)
 	if deactivateErr != nil {
@@ -573,6 +602,8 @@ func (v *VDC) enforceRevocation(vd *VirtualDrone) {
 		}
 		for _, pid := range v.drone.DevCon.ActiveUsers(svc, vd.Name) {
 			vd.Instance.ActivityManager().KillProcess(pid)
+			mKills.Inc()
+			v.drone.Tel.Emit(vd.key, kKill, int64(pid), 0, svc)
 		}
 	}
 	v.drone.DevCon.ReleaseContainer(vd.Name)
@@ -626,20 +657,32 @@ func (v *VDC) MeterActive(name string, seconds, joules float64) bool {
 		return true
 	}
 	vd.Allotment.Consume(seconds, joules)
+	mEnergySeconds.Add(seconds)
+	mEnergyJoules.Add(joules)
 	timeLow, energyLow := vd.Allotment.Low(0.2)
+	exhausted := vd.Allotment.Exhausted()
 	vd.mu.Lock()
 	notifyTime := timeLow && !vd.warnedTime
 	notifyEnergy := energyLow && !vd.warnedEnergy
+	firstExhaustion := exhausted && !vd.warnedExhausted
 	vd.warnedTime = vd.warnedTime || timeLow
 	vd.warnedEnergy = vd.warnedEnergy || energyLow
+	vd.warnedExhausted = vd.warnedExhausted || exhausted
 	vd.mu.Unlock()
 	if notifyTime {
+		v.drone.Tel.Emit(vd.key, kLowTime, int64(vd.Allotment.TimeLeftS()), 0, "")
 		vd.deliver(sdk.Event{Kind: sdk.EventLowTime, Remaining: int(vd.Allotment.TimeLeftS())})
 	}
 	if notifyEnergy {
+		v.drone.Tel.Emit(vd.key, kLowEnergy, int64(vd.Allotment.EnergyLeftJ()), 0, "")
 		vd.deliver(sdk.Event{Kind: sdk.EventLowEnergy, Remaining: int(vd.Allotment.EnergyLeftJ())})
 	}
-	return vd.Allotment.Exhausted()
+	if firstExhaustion {
+		mExhaustions.Inc()
+		usedS, usedJ := vd.Allotment.Used()
+		v.drone.Tel.Emit(vd.key, kExhausted, int64(usedS), int64(usedJ), "")
+	}
+	return exhausted
 }
 
 // TickTransit runs periodic work for virtual drones operating between their
@@ -682,6 +725,7 @@ func (v *VDC) TickActive(name string, dt float64) {
 // NotifyBreach delivers geofenceBreached to the virtual drone's apps.
 func (v *VDC) NotifyBreach(name string) {
 	if vd, err := v.Get(name); err == nil {
+		v.drone.Tel.Emit(vd.key, kVdcBreach, 0, 0, "")
 		vd.deliver(sdk.Event{Kind: sdk.EventGeofenceBreached})
 	}
 }
@@ -701,6 +745,7 @@ func (v *VDC) NotifyControlReturned(name string) {
 	}
 	vd.mu.Unlock()
 	if at {
+		v.drone.Tel.Emit(vd.key, kControlReturned, int64(idx), 0, "")
 		vd.deliver(sdk.Event{Kind: sdk.EventWaypointActive, Waypoint: wp})
 	}
 }
@@ -745,6 +790,16 @@ func (v *VDC) Save(name string) (cloud.VDREntry, error) {
 	if err != nil {
 		return cloud.VDREntry{}, err
 	}
+
+	// Black-box dump before teardown: the save is the end of this drone's
+	// flight, so archive its recent event history alongside the VDR entry.
+	mSaves.Inc()
+	visited, total := vd.Progress()
+	v.drone.Tel.Emit(vd.key, kSave, int64(visited), int64(total), "")
+	v.drone.Tel.Dump(vd.key, "vdr-save", map[string]float64{
+		"visited":   float64(visited),
+		"waypoints": float64(total),
+	})
 
 	// Tear down.
 	_ = v.drone.Runtime.Stop(name)

@@ -22,6 +22,7 @@ import (
 	"androne/internal/android"
 	"androne/internal/binder"
 	"androne/internal/devices"
+	"androne/internal/telemetry"
 )
 
 // NamespaceName is the device container's Binder namespace.
@@ -95,6 +96,10 @@ type DeviceContainer struct {
 	mu       sync.Mutex
 	policy   Policy
 	services map[string]*deviceService
+
+	// tel is the drone's flight recorder; nil when running without one.
+	// Set during bring-up (SetRecorder), before tenant traffic.
+	tel *telemetry.Recorder
 
 	// hardware opened exclusively by the device container
 	camera  *devices.Camera
@@ -343,7 +348,9 @@ func (s *deviceService) checkPermission(sender binder.Sender) error {
 	return nil
 }
 
-func (s *deviceService) trackUse(sender binder.Sender) {
+// trackUse records the sender as an active user and reports whether this
+// (container, pid) pair is newly acquiring the service.
+func (s *deviceService) trackUse(sender binder.Sender) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	set, ok := s.users[sender.Container]
@@ -351,7 +358,9 @@ func (s *deviceService) trackUse(sender binder.Sender) {
 		set = make(map[int]bool)
 		s.users[sender.Container] = set
 	}
+	isNew := !set[sender.PID]
 	set[sender.PID] = true
+	return isNew
 }
 
 func (s *deviceService) release(sender binder.Sender) {
@@ -386,17 +395,26 @@ func (s *deviceService) activeUsers(container string) []int {
 func (s *deviceService) handleTxn(txn binder.Txn) (binder.Reply, error) {
 	if txn.Code == CmdRelease {
 		s.release(txn.Sender)
+		mReleases.Inc()
+		s.dc.tel.Emit(telemetry.K(txn.Sender.Container), kRelease, int64(txn.Sender.PID), 0, s.name)
 		return binder.Reply{}, nil
 	}
 	if txn.Code == binder.CodePing {
 		return binder.Reply{}, nil
 	}
 	if err := s.checkPermission(txn.Sender); err != nil {
+		mDenials.Inc()
+		reason := "permission"
+		if errors.Is(err, ErrPolicyDenied) {
+			reason = "policy"
+		}
+		s.dc.tel.Emit(telemetry.K(txn.Sender.Container), kDeny, int64(txn.Sender.PID), int64(txn.Code), reason)
 		return binder.Reply{}, err
 	}
 	reply, err := s.serve(txn)
-	if err == nil {
-		s.trackUse(txn.Sender)
+	if err == nil && s.trackUse(txn.Sender) {
+		mAcquires.Inc()
+		s.dc.tel.Emit(telemetry.K(txn.Sender.Container), kAcquire, int64(txn.Sender.PID), 0, s.name)
 	}
 	return reply, err
 }

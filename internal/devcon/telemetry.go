@@ -1,0 +1,29 @@
+// Flight-recorder instrumentation for the shared device services. Device
+// traffic is tracked at the acquire/release/deny granularity rather than
+// per read — a tenant polling the IMU at 10 Hz would otherwise evict
+// everything interesting from its ring. Emissions happen in handleTxn,
+// which holds no devcon locks.
+
+package devcon
+
+import "androne/internal/telemetry"
+
+var (
+	mAcquires = telemetry.NewCounter("androne_dev_acquires_total",
+		"First uses of a device service by a (container, pid) pair.")
+	mReleases = telemetry.NewCounter("androne_dev_releases_total",
+		"Device service releases (explicit CmdRelease).")
+	mDenials = telemetry.NewCounter("androne_dev_denials_total",
+		"Device requests refused by permission check or VDC policy.")
+)
+
+// Trace event kinds.
+var (
+	kAcquire = telemetry.K("dev.acquire")
+	kRelease = telemetry.K("dev.release")
+	kDeny    = telemetry.K("dev.deny")
+)
+
+// SetRecorder attaches a flight recorder to the device container. Call
+// during drone bring-up, before tenant traffic starts.
+func (dc *DeviceContainer) SetRecorder(r *telemetry.Recorder) { dc.tel = r }

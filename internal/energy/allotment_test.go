@@ -1,0 +1,97 @@
+package energy
+
+import (
+	"sync"
+	"testing"
+)
+
+// Edge cases around the allotment budgets — the metering path the VDC
+// trusts to decide when a virtual drone loses control.
+
+func TestAllotmentZeroBudgets(t *testing.T) {
+	a := NewAllotment(0, 0)
+	if !a.Exhausted() {
+		t.Fatalf("a zero allotment must start exhausted")
+	}
+	if a.TimeLeftS() != 0 || a.EnergyLeftJ() != 0 {
+		t.Fatalf("zero allotment has leftovers: %g s, %g J", a.TimeLeftS(), a.EnergyLeftJ())
+	}
+	// Low with a zero denominator must not report low (0 < frac*0 is false)
+	// — there is no budget to be low on, and Exhausted already fired.
+	timeLow, energyLow := a.Low(0.2)
+	if timeLow || energyLow {
+		t.Fatalf("zero allotment reported low warnings: %v %v", timeLow, energyLow)
+	}
+}
+
+func TestAllotmentZeroOneBudget(t *testing.T) {
+	// Zero time budget but real energy: exhausted immediately on time.
+	a := NewAllotment(0, 1000)
+	if !a.Exhausted() {
+		t.Fatalf("zero time budget must exhaust immediately")
+	}
+	// Zero energy budget but real time: same.
+	a = NewAllotment(600, 0)
+	if !a.Exhausted() {
+		t.Fatalf("zero energy budget must exhaust immediately")
+	}
+}
+
+func TestAllotmentDebitPastZero(t *testing.T) {
+	a := NewAllotment(10, 100)
+	a.Consume(25, 500) // one debit overshoots both budgets
+	if !a.Exhausted() {
+		t.Fatalf("overshot allotment not exhausted")
+	}
+	if got := a.TimeLeftS(); got != 0 {
+		t.Fatalf("TimeLeftS went negative-ish: %g", got)
+	}
+	if got := a.EnergyLeftJ(); got != 0 {
+		t.Fatalf("EnergyLeftJ went negative-ish: %g", got)
+	}
+	// The raw used totals keep the overshoot for billing.
+	s, j := a.Used()
+	if s != 25 || j != 500 {
+		t.Fatalf("Used = %g s %g J, want 25 s 500 J", s, j)
+	}
+	// Further debits past zero stay clamped and exhausted.
+	a.Consume(1, 1)
+	if a.TimeLeftS() != 0 || a.EnergyLeftJ() != 0 || !a.Exhausted() {
+		t.Fatalf("post-zero debit broke clamping")
+	}
+}
+
+func TestAllotmentConcurrentDebits(t *testing.T) {
+	const (
+		workers = 8
+		debits  = 1000
+		perS    = 0.25
+		perJ    = 2.0
+	)
+	a := NewAllotment(workers*debits*perS*2, workers*debits*perJ*2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < debits; i++ {
+				a.Consume(perS, perJ)
+				// Interleave reads so -race exercises reader/writer pairs.
+				if i%100 == 0 {
+					a.Exhausted()
+					a.Low(0.2)
+					a.TimeLeftS()
+					a.EnergyLeftJ()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s, j := a.Used()
+	if s != workers*debits*perS || j != workers*debits*perJ {
+		t.Fatalf("lost debits: %g s %g J", s, j)
+	}
+	if a.Exhausted() {
+		t.Fatalf("allotment exhausted at half budget")
+	}
+}

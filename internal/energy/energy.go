@@ -10,6 +10,7 @@ package energy
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Physical constants.
@@ -193,6 +194,7 @@ type Allotment struct {
 	MaxDurationS float64
 	EnergyJ      float64
 
+	mu    sync.Mutex
 	usedS float64
 	usedJ float64
 }
@@ -202,26 +204,53 @@ func NewAllotment(maxDurationS, energyJ float64) *Allotment {
 	return &Allotment{MaxDurationS: maxDurationS, EnergyJ: energyJ}
 }
 
-// Consume records elapsed waypoint time and energy.
+// Consume records elapsed waypoint time and energy. It is safe for
+// concurrent use: metering runs on the flight loop while the VDC reads
+// budgets from request handlers.
 func (a *Allotment) Consume(seconds, joules float64) {
+	a.mu.Lock()
 	a.usedS += seconds
 	a.usedJ += joules
+	a.mu.Unlock()
+}
+
+// Used returns the consumed seconds and joules so far.
+func (a *Allotment) Used() (seconds, joules float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.usedS, a.usedJ
 }
 
 // TimeLeftS returns remaining allotted seconds (never negative).
-func (a *Allotment) TimeLeftS() float64 { return math.Max(0, a.MaxDurationS-a.usedS) }
+func (a *Allotment) TimeLeftS() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.timeLeftLocked()
+}
+
+func (a *Allotment) timeLeftLocked() float64 { return math.Max(0, a.MaxDurationS-a.usedS) }
 
 // EnergyLeftJ returns remaining allotted joules (never negative).
-func (a *Allotment) EnergyLeftJ() float64 { return math.Max(0, a.EnergyJ-a.usedJ) }
+func (a *Allotment) EnergyLeftJ() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.energyLeftLocked()
+}
+
+func (a *Allotment) energyLeftLocked() float64 { return math.Max(0, a.EnergyJ-a.usedJ) }
 
 // Exhausted reports whether either budget is spent — "whichever is
 // exhausted first dictating when control must be taken away."
 func (a *Allotment) Exhausted() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return a.usedS >= a.MaxDurationS || a.usedJ >= a.EnergyJ
 }
 
 // Low reports whether less than frac of either budget remains, driving the
 // SDK's lowEnergyWarning and lowTimeWarning callbacks.
 func (a *Allotment) Low(frac float64) (timeLow, energyLow bool) {
-	return a.TimeLeftS() < frac*a.MaxDurationS, a.EnergyLeftJ() < frac*a.EnergyJ
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.timeLeftLocked() < frac*a.MaxDurationS, a.energyLeftLocked() < frac*a.EnergyJ
 }

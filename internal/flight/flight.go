@@ -18,10 +18,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"androne/internal/devices"
 	"androne/internal/geo"
 	"androne/internal/mavlink"
+	"androne/internal/telemetry"
 )
 
 // FastLoopHz is the controller's fast loop rate.
@@ -144,6 +147,12 @@ type Controller struct {
 	timeS     float64
 	loopCount uint64
 	log       *Log
+
+	// Telemetry. stepCount is atomic (not under c.mu) so the latency
+	// sampling decision can be made before the step's sensor reads; tel is
+	// set at construction time and may be nil.
+	stepCount atomic.Uint64
+	tel       *telemetry.Recorder
 }
 
 // Option configures a Controller.
@@ -225,8 +234,13 @@ func (c *Controller) Disarm() {
 // SetModeNum switches flight mode.
 func (c *Controller) SetModeNum(mode uint32) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.setModeLocked(mode)
+	err := c.setModeLocked(mode)
+	c.mu.Unlock()
+	if err == nil {
+		mModeChanges.Inc()
+		c.tel.Emit(0, kModeChange, int64(mode), 0, "")
+	}
+	return err
 }
 
 func (c *Controller) setModeLocked(mode uint32) error {
@@ -382,6 +396,11 @@ func (c *Controller) Step(dt float64) {
 	if dt <= 0 {
 		return
 	}
+	var t0 time.Time
+	sampled := telemetry.Enabled() && c.stepCount.Add(1)%stepSampleEvery == 0
+	if sampled {
+		t0 = time.Now()
+	}
 	imu := c.sensors.IMU()
 	hdg := c.sensors.Heading()
 
@@ -404,6 +423,9 @@ func (c *Controller) Step(dt float64) {
 	cmd := c.stepLocked(imu, hdg, fix, soc, gpsTick, dt)
 	c.mu.Unlock()
 	c.motors.SetMotors(cmd)
+	if sampled {
+		mStepNS.Observe(float64(time.Since(t0).Nanoseconds()))
+	}
 }
 
 // stepLocked runs the estimator and control math and returns the motor

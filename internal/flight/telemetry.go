@@ -1,0 +1,30 @@
+// Flight-recorder instrumentation for the 400 Hz control loop. The fast
+// loop is the most latency-sensitive code in the repo, so it pays one
+// atomic load per step plus a 1-in-64 sampled wall-clock measurement into
+// a bounded histogram; mode changes (a rare, decision-shaped event) are
+// traced individually. Wall-clock samples feed metrics only, never trace
+// events, so traces stay deterministic under a fixed seed.
+
+package flight
+
+import "androne/internal/telemetry"
+
+// stepSampleEvery is the fast-loop latency sampling period: at 400 Hz,
+// one sample every 160 ms.
+const stepSampleEvery = 64
+
+var (
+	mStepNS = telemetry.NewHistogram("androne_flight_step_ns",
+		"Sampled fast-loop step latency in nanoseconds.",
+		telemetry.ExponentialBounds(250, 2, 16)) // 250ns .. ~8ms
+	mModeChanges = telemetry.NewCounter("androne_flight_mode_changes_total",
+		"Successful externally commanded flight-mode changes.")
+)
+
+// Trace event kinds.
+var kModeChange = telemetry.K("flight.mode-change")
+
+// WithRecorder attaches a flight recorder to the controller.
+func WithRecorder(r *telemetry.Recorder) Option {
+	return func(c *Controller) { c.tel = r }
+}

@@ -26,6 +26,7 @@ import (
 	"androne/internal/flight"
 	"androne/internal/geo"
 	"androne/internal/mavlink"
+	"androne/internal/telemetry"
 )
 
 // Errors. Command-level refusals are reported in-band as MAVLink acks
@@ -132,6 +133,9 @@ type Proxy struct {
 	mu   sync.Mutex
 	fc   *flight.Controller
 	vfcs map[string]*VFC
+	// tel is the drone's flight recorder; nil when running without one.
+	// Set during bring-up (SetRecorder), before VFCs exist.
+	tel *telemetry.Recorder
 }
 
 // New creates a proxy in front of the flight controller.
@@ -165,12 +169,14 @@ func (m *Master) Controller() *flight.Controller { return m.fc }
 // whose VFC shows real positions between waypoints (commands still
 // declined).
 func (p *Proxy) NewVFC(name string, wl Whitelist, continuous bool) (*VFC, error) {
+	key := telemetry.K(name) // intern outside p.mu: K takes its own lock
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, ok := p.vfcs[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrVFCExists, name)
 	}
-	v := &VFC{proxy: p, name: name, wl: wl, continuous: continuous, state: VFCIdle}
+	v := &VFC{proxy: p, name: name, key: key, tel: p.tel, wl: wl, continuous: continuous, state: VFCIdle,
+		sends: mSends.Local()}
 	p.vfcs[name] = v
 	return v, nil
 }
@@ -197,6 +203,7 @@ func (p *Proxy) SetWhitelist(name string, wl Whitelist) error {
 	v.mu.Lock()
 	v.wl = wl
 	v.mu.Unlock()
+	v.tel.Emit(v.key, kWhitelistSwap, 0, 0, wl.Name)
 	return nil
 }
 
@@ -231,6 +238,7 @@ func (p *Proxy) Activate(name string, wp geo.Waypoint) error {
 	fence := geo.FenceFor(wp)
 	p.fc.SetFence(&fence, func(c *flight.Controller) { p.onBreach(v) })
 	v.pushEvent(&mavlink.StatusText{Severity: mavlink.SeverityInfo, Text: "waypoint active: " + name})
+	v.tel.Emit(v.key, kActivate, 0, 0, "")
 	return nil
 }
 
@@ -253,6 +261,7 @@ func (p *Proxy) Deactivate(name string) error {
 	if wasActive {
 		p.fc.SetFence(nil, flight.FailsafeLand)
 		v.pushEvent(&mavlink.StatusText{Severity: mavlink.SeverityInfo, Text: "waypoint finished: " + name})
+		v.tel.Emit(v.key, kDeactivate, 0, 0, "")
 	}
 	return nil
 }
@@ -271,6 +280,8 @@ func (p *Proxy) onBreach(v *VFC) {
 	fence := v.fence
 	v.mu.Unlock()
 	v.pushEvent(&mavlink.StatusText{Severity: mavlink.SeverityWarning, Text: "geofence breached"})
+	mBreaches.Inc()
+	v.tel.Emit(v.key, kBreach, 0, 0, "")
 
 	// Step 3: guide the drone back inside the geofence. A rejected command
 	// must not strand the drone outside the fence with the VFC locked out:
@@ -312,6 +323,7 @@ func (p *Proxy) Tick() {
 
 	for _, v := range vfcs {
 		v.mu.Lock()
+		v.sends.Flush()
 		needsCheck := v.recovering && v.state == VFCActive
 		fence := v.fence
 		pending := v.guidePending
@@ -328,12 +340,17 @@ func (p *Proxy) Tick() {
 				continue
 			}
 			v.mu.Lock()
+			tries := v.recoverTries
 			v.recovering = false
 			v.cmdsDisabled = false
 			v.guidePending = false
 			v.recoverTries = 0
 			v.mu.Unlock()
 			v.pushEvent(&mavlink.StatusText{Severity: mavlink.SeverityInfo, Text: "geofence recovered; control returned"})
+			v.tel.Emit(v.key, kRecovered, int64(tries), 0, "")
+			// Black-box the whole breach episode, retry count included, so
+			// escalation-to-land (or the lack of it) is explainable.
+			v.tel.Dump(v.key, "geofence-breach", map[string]float64{"recover-tries": float64(tries)})
 			continue
 		}
 		if !pending {
@@ -344,13 +361,18 @@ func (p *Proxy) Tick() {
 		if err := p.guideBack(fence); err != nil {
 			v.mu.Lock()
 			v.recoverTries++
-			giveUp := v.recoverTries >= maxRecoverAttempts
+			tries := v.recoverTries
+			giveUp := tries >= maxRecoverAttempts
 			if giveUp {
 				v.guidePending = false
 			}
 			v.mu.Unlock()
+			mRecoverRetries.Inc()
+			v.tel.Emit(v.key, kRetry, int64(tries), 0, "")
 			if giveUp {
 				v.pushEvent(&mavlink.StatusText{Severity: mavlink.SeverityCritical, Text: "breach recovery failed; landing"})
+				v.tel.Emit(v.key, kRecoverFailed, int64(tries), 0, "")
+				v.tel.Dump(v.key, "geofence-breach", map[string]float64{"recover-tries": float64(tries)})
 				flight.FailsafeLand(p.fc)
 			}
 			continue
@@ -366,9 +388,11 @@ func (p *Proxy) Tick() {
 type VFC struct {
 	proxy *Proxy
 	name  string
-	wl    Whitelist
+	key   telemetry.Key       // interned name, cached for zero-cost emission
+	tel   *telemetry.Recorder // copied from the proxy at construction; may be nil
 
 	mu           sync.Mutex
+	wl           Whitelist
 	state        VFCState
 	waypoint     geo.Waypoint
 	fence        geo.Fence
@@ -380,6 +404,10 @@ type VFC struct {
 	missionOwned bool // this VFC uploaded the currently loaded mission
 	events       []mavlink.Message
 	seq          uint32
+	// sends shards mSends under v.mu: Send is the proxy's hottest path and
+	// a plain increment there avoids an atomic fence per message. Tick
+	// flushes the batch.
+	sends *telemetry.LocalCount
 }
 
 // Name returns the VFC's virtual drone name.
@@ -405,6 +433,22 @@ func (v *VFC) pushEvent(m mavlink.Message) {
 	v.events = append(v.events, m)
 }
 
+// deny counts and traces a refusal, then synthesizes the denial ack. It
+// runs with no VFC lock held.
+func (v *VFC) deny(msg mavlink.Message, result uint8, reason string) []mavlink.Message {
+	mRejects.Inc()
+	v.tel.Emit(v.key, kReject, int64(msg.ID()), cmdOf(msg), reason)
+	return deny(msg, result)
+}
+
+// cmdOf extracts the MAV_CMD number when the message carries one.
+func cmdOf(msg mavlink.Message) int64 {
+	if m, ok := msg.(*mavlink.CommandLong); ok {
+		return int64(m.Command)
+	}
+	return 0
+}
+
 // deny synthesizes a denial ack for a message.
 func deny(msg mavlink.Message, result uint8) []mavlink.Message {
 	switch m := msg.(type) {
@@ -423,58 +467,61 @@ func deny(msg mavlink.Message, result uint8) []mavlink.Message {
 // active, the whitelist and geofence are enforced, then the message is
 // forwarded to the real flight controller.
 func (v *VFC) Send(msg mavlink.Message) []mavlink.Message {
+	if _, isHB := msg.(*mavlink.Heartbeat); isHB {
+		return nil // heartbeats are always accepted silently
+	}
 	v.mu.Lock()
 	state := v.state
 	disabled := v.cmdsDisabled
 	fence := v.fence
 	wl := v.wl
+	v.sends.Inc() // sharded under v.mu; Tick flushes
 	v.mu.Unlock()
-
-	if _, isHB := msg.(*mavlink.Heartbeat); isHB {
-		return nil // heartbeats are always accepted silently
-	}
 	if state != VFCActive {
-		return deny(msg, mavlink.ResultTemporarilyRejected)
+		return v.deny(msg, mavlink.ResultTemporarilyRejected, "inactive")
 	}
 	if disabled {
-		return deny(msg, mavlink.ResultTemporarilyRejected)
+		return v.deny(msg, mavlink.ResultTemporarilyRejected, "disabled")
 	}
 
+	modeRequested := int64(-1)
 	switch m := msg.(type) {
 	case *mavlink.CommandLong:
 		if !wl.AllowsCommand(m.Command) {
-			return deny(msg, mavlink.ResultDenied)
+			return v.deny(msg, mavlink.ResultDenied, "whitelist")
 		}
 		// DO_SET_MODE may only select modes that keep the drone controllable
 		// within the fence.
 		if m.Command == mavlink.CmdDoSetMode {
 			if !v.safeMode(uint32(m.Param2)) {
-				return deny(msg, mavlink.ResultDenied)
+				return v.deny(msg, mavlink.ResultDenied, "unsafe-mode")
 			}
+			modeRequested = int64(m.Param2)
 		}
 	case *mavlink.SetMode:
 		if !wl.AllowsMessage(mavlink.MsgIDSetMode) || !v.safeMode(m.CustomMode) {
-			return deny(msg, mavlink.ResultDenied)
+			return v.deny(msg, mavlink.ResultDenied, "unsafe-mode")
 		}
+		modeRequested = int64(m.CustomMode)
 	case *mavlink.SetPositionTargetGlobalInt:
 		if !wl.AllowsMessage(mavlink.MsgIDSetPositionTargetGlobal) {
-			return deny(msg, mavlink.ResultDenied)
+			return v.deny(msg, mavlink.ResultDenied, "whitelist")
 		}
 		target := geo.Position{
 			LatLon: geo.LatLon{Lat: mavlink.E7ToLatLon(m.LatE7), Lon: mavlink.E7ToLatLon(m.LonE7)},
 			Alt:    float64(m.Alt),
 		}
 		if !fence.Contains(target) {
-			return deny(msg, mavlink.ResultDenied)
+			return v.deny(msg, mavlink.ResultDenied, "fence")
 		}
 	case *mavlink.MissionCount, *mavlink.MissionClearAll,
 		*mavlink.ParamRequestRead, *mavlink.ParamRequestList, *mavlink.ParamSet:
 		if !wl.AllowsMessage(msg.ID()) {
-			return deny(msg, mavlink.ResultDenied)
+			return v.deny(msg, mavlink.ResultDenied, "whitelist")
 		}
 	case *mavlink.MissionItemInt:
 		if !wl.AllowsMessage(mavlink.MsgIDMissionItemInt) {
-			return deny(msg, mavlink.ResultDenied)
+			return v.deny(msg, mavlink.ResultDenied, "whitelist")
 		}
 		// Every uploaded mission item must lie inside the geofence; AUTO
 		// flight then stays contained by construction (and the controller's
@@ -484,10 +531,16 @@ func (v *VFC) Send(msg mavlink.Message) []mavlink.Message {
 			Alt:    float64(m.Alt),
 		}
 		if !fence.Contains(target) {
+			mRejects.Inc()
+			v.tel.Emit(v.key, kReject, int64(msg.ID()), 0, "fence")
 			return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionDenied}}
 		}
 	default:
-		return deny(msg, mavlink.ResultDenied)
+		return v.deny(msg, mavlink.ResultDenied, "unlisted")
+	}
+	if modeRequested >= 0 {
+		mModeRequests.Inc()
+		v.tel.Emit(v.key, kModeRequest, modeRequested, 0, "")
 	}
 	replies := v.proxy.fc.HandleMessage(msg)
 	// Track mission ownership: a fully accepted upload through THIS VFC

@@ -1,0 +1,49 @@
+// Flight-recorder instrumentation for the virtualized flight-control
+// plane. Accepted traffic pays one atomic counter; denials, breaches, and
+// recovery retries emit trace events; completed (or escalated) breach
+// recoveries take a black-box dump that carries the retry count — the
+// breach-recovery retry counter used to be invisible outside the package.
+// All emissions happen outside p.mu/v.mu (locksafe enforces this).
+
+package mavproxy
+
+import "androne/internal/telemetry"
+
+var (
+	mSends = telemetry.NewCounter("androne_vfc_sends_total",
+		"Non-heartbeat messages processed by VFC Send.")
+	mRejects = telemetry.NewCounter("androne_vfc_rejects_total",
+		"Messages a VFC declined (whitelist, fence, state, or mode-safety).")
+	mBreaches = telemetry.NewCounter("androne_vfc_breaches_total",
+		"Geofence breach sequences started.")
+	mRecoverRetries = telemetry.NewCounter("androne_vfc_recover_retries_total",
+		"Rejected breach-recovery guidance attempts that were retried.")
+	mModeRequests = telemetry.NewCounter("androne_vfc_mode_requests_total",
+		"Mode changes requested through a VFC and allowed by policy.")
+)
+
+// Trace event kinds.
+var (
+	kReject        = telemetry.K("vfc.reject")
+	kModeRequest   = telemetry.K("vfc.mode-request")
+	kActivate      = telemetry.K("vfc.activate")
+	kDeactivate    = telemetry.K("vfc.deactivate")
+	kBreach        = telemetry.K("vfc.breach")
+	kRetry         = telemetry.K("vfc.recover-retry")
+	kRecovered     = telemetry.K("vfc.recovered")
+	kRecoverFailed = telemetry.K("vfc.recover-failed")
+	kWhitelistSwap = telemetry.K("vfc.whitelist-swap")
+)
+
+// SetRecorder attaches a flight recorder to the proxy. Call during drone
+// bring-up, before VFCs are created: each VFC caches the recorder at
+// construction time.
+func (p *Proxy) SetRecorder(r *telemetry.Recorder) { p.tel = r }
+
+// RecoverTries returns the current count of consecutive rejected
+// breach-recovery attempts — nonzero only mid-recovery.
+func (v *VFC) RecoverTries() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.recoverTries
+}

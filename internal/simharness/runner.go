@@ -17,6 +17,7 @@ import (
 	"androne/internal/mavproxy"
 	"androne/internal/netem"
 	"androne/internal/sdk"
+	"androne/internal/telemetry"
 )
 
 // TickS is the harness tick in sim seconds: physics and the controller
@@ -71,6 +72,10 @@ type Result struct {
 	Events     []Event     `json:"events"`
 	Violations []Violation `json:"violations"`
 	Orders     []cloud.Order
+	// FlightRecords are the black-box dumps the flight recorder archived
+	// during the run: one per invariant violation, geofence recovery,
+	// permission revocation, and VDR save.
+	FlightRecords []telemetry.FlightRecord `json:"flight-records,omitempty"`
 }
 
 // Passed reports whether the run finished with no invariant violations.
@@ -89,7 +94,7 @@ func (r *Result) Trace() string {
 
 // droneMeta is the runner's per-virtual-drone bookkeeping.
 type droneMeta struct {
-	spec      DroneSpec
+	spec       DroneSpec
 	orderID    string
 	dwellTick  int // tick of the first waypoint grant (-1 until then)
 	breaches   int
@@ -272,14 +277,21 @@ func (r *Runner) event(kind, drone, detail string) {
 	r.events = append(r.events, Event{
 		Tick: r.tick, TimeS: r.now(), Kind: kind, Drone: drone, Detail: detail,
 	})
+	// Mirror into the flight recorder so black-box dumps interleave the
+	// harness's view (faults fired, pilot actions) with the stack's own
+	// events. Harness events are rare, so interning per call is fine here.
+	r.drone.Tel.Emit(telemetry.K(drone), telemetry.K("harness."+kind), 0, 0, detail)
 }
 
-// Violate records an invariant violation (also mirrored into the trace).
+// Violate records an invariant violation (also mirrored into the trace) and
+// dumps the flight recorder: the black box is most valuable at the moment an
+// invariant breaks.
 func (r *Runner) Violate(checker, drone, detail string) {
 	r.fails = append(r.fails, Violation{
 		Tick: r.tick, Checker: checker, Drone: drone, Detail: detail,
 	})
 	r.event("VIOLATION", drone, checker+": "+detail)
+	r.drone.Tel.Dump(telemetry.K(drone), "violation:"+checker, nil)
 }
 
 // Drone exposes the assembled stack to checkers.
@@ -465,6 +477,7 @@ func (r *Runner) revokePermission(name, device string) {
 		am.Revoke(vd.UIDFor(pkg), perm)
 	}
 	r.event("fault", name, "revoked "+device+" permission")
+	r.drone.Tel.Dump(telemetry.K(name), "permission-revoked", nil)
 }
 
 // forceBreach pushes the drone outside the target's active geofence
@@ -686,13 +699,14 @@ func (r *Runner) Run() (*Result, error) {
 	}
 
 	res := &Result{
-		Scenario:   r.sc.Name,
-		Seed:       r.sc.Seed,
-		Ticks:      r.tick,
-		SimSeconds: r.now(),
-		Events:     r.events,
-		Violations: r.fails,
-		Orders:     r.orders.List(""),
+		Scenario:      r.sc.Name,
+		Seed:          r.sc.Seed,
+		Ticks:         r.tick,
+		SimSeconds:    r.now(),
+		Events:        r.events,
+		Violations:    r.fails,
+		Orders:        r.orders.List(""),
+		FlightRecords: r.drone.Tel.Records(),
 	}
 	return res, nil
 }

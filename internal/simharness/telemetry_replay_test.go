@@ -1,0 +1,110 @@
+package simharness
+
+import (
+	"reflect"
+	"testing"
+
+	"androne/internal/telemetry"
+)
+
+// replaySabotage is the breach-loiter shape with the whitelist sabotage and
+// a mid-dwell downgrade: one run must yield (a) a violation dump proving the
+// canary caught the sabotaged whitelist, and (b) a black-box record whose
+// event stream contains the injected fault, a command the VFC rejected, and
+// the VDC breach decision that followed — the flight recorder's reason-why
+// chain for the incident.
+func replaySabotage() *Scenario {
+	return &Scenario{
+		Name: "replay-sabotage",
+		Seed: "replay-sabotage-1",
+		Drones: []DroneSpec{{
+			Name: "tenant", Owner: "alice",
+			Waypoints: []WaypointSpec{{NorthM: 70, AltM: 15, RadiusM: 40, DwellS: 6}},
+		}},
+		Pilot:    &PilotSpec{Target: "tenant"},
+		Sabotage: "whitelist",
+		Faults: []Fault{
+			// The canary probes every 2 s, so it catches the sabotaged
+			// whitelist before the downgrade swaps it out again...
+			{Kind: FaultDowngrade, Target: "tenant", From: "dwell", AtS: 2.5},
+			// ...and the downgraded whitelist rejects the canary/pilot while
+			// the induced breach plays out.
+			{Kind: FaultBreach, Target: "tenant", From: "dwell", AtS: 4},
+		},
+	}
+}
+
+// kindIndex returns the index of the first event of the given kind at or
+// after from, or -1.
+func kindIndex(events []telemetry.RecordEvent, kind string, from int) int {
+	for i := from; i < len(events); i++ {
+		if events[i].Kind == kind {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFlightRecordCapturesFaultRejectAndDecision(t *testing.T) {
+	res, err := RunScenario(replaySabotage())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Passed() {
+		t.Fatalf("sabotaged scenario passed; the whitelist canary should have fired")
+	}
+	if len(res.FlightRecords) == 0 {
+		t.Fatalf("no flight records dumped")
+	}
+
+	var sawViolationDump, sawChain bool
+	for _, rec := range res.FlightRecords {
+		if rec.Trigger == "violation:whitelist-canary" {
+			sawViolationDump = true
+		}
+		// The chain: injected fault -> VFC rejection -> VDC breach decision,
+		// in sequence order within one record.
+		i := kindIndex(rec.Events, "harness.fault", 0)
+		if i < 0 {
+			continue
+		}
+		j := kindIndex(rec.Events, "vfc.reject", i+1)
+		if j < 0 {
+			continue
+		}
+		if k := kindIndex(rec.Events, "vdc.breach", j+1); k >= 0 {
+			sawChain = true
+			if rec.Drone != "tenant" {
+				t.Errorf("chain record labeled %q, want tenant", rec.Drone)
+			}
+		}
+	}
+	if !sawViolationDump {
+		var triggers []string
+		for _, rec := range res.FlightRecords {
+			triggers = append(triggers, rec.Trigger)
+		}
+		t.Errorf("no violation:whitelist-canary dump; triggers: %v", triggers)
+	}
+	if !sawChain {
+		t.Errorf("no record contains harness.fault -> vfc.reject -> vdc.breach in order")
+	}
+}
+
+func TestFlightRecordsDeterministicReplay(t *testing.T) {
+	first, err := RunScenario(replaySabotage())
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	second, err := RunScenario(replaySabotage())
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if len(first.FlightRecords) == 0 {
+		t.Fatalf("no flight records to compare")
+	}
+	if !reflect.DeepEqual(first.FlightRecords, second.FlightRecords) {
+		t.Fatalf("flight records differ between identically-seeded runs:\nfirst:  %d records\nsecond: %d records",
+			len(first.FlightRecords), len(second.FlightRecords))
+	}
+}

@@ -1,0 +1,339 @@
+// Metrics: a process-global registry of counters, gauges, and bounded
+// histograms. Instruments are declared as package-level vars in the
+// instrumented packages (binder, mavproxy, core, devcon, flight) and
+// updated with lock-free atomics; the portal's /metrics endpoint renders
+// the registry as a Prometheus-style text exposition.
+
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 stored as bits in a uint64 for lock-free
+// add/set.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) set(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) get() float64  { return math.Float64frombits(f.bits.Load()) }
+
+// instrument is anything the registry can render.
+type instrument interface {
+	metricName() string
+	metricHelp() string
+	metricType() string
+	render(w *strings.Builder)
+}
+
+// Registry holds a named set of instruments.
+type Registry struct {
+	mu    sync.Mutex
+	insts map[string]instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{insts: make(map[string]instrument)}
+}
+
+// DefaultRegistry is the process-global registry that the package-level
+// constructors register into and /metrics renders.
+var DefaultRegistry = NewRegistry()
+
+func (r *Registry) register(in instrument) {
+	name := in.metricName() // dynamic dispatch must happen outside r.mu
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.insts[name]; dup {
+		panic("telemetry: duplicate metric " + name)
+	}
+	r.insts[name] = in
+}
+
+// Exposition renders every registered instrument in name order as
+// Prometheus-style text.
+func (r *Registry) Exposition() string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.insts))
+	for name := range r.insts {
+		names = append(names, name)
+	}
+	insts := make([]instrument, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		insts = append(insts, r.insts[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, in := range insts {
+		fmt.Fprintf(&b, "# HELP %s %s\n", in.metricName(), in.metricHelp())
+		fmt.Fprintf(&b, "# TYPE %s %s\n", in.metricName(), in.metricType())
+		in.render(&b)
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing value. Integer increments (Inc)
+// take a plain atomic-add fast path; fractional accumulation (Add) pays a
+// CAS loop. The rendered value is the sum of both parts.
+type Counter struct {
+	name, help string
+	ints       atomic.Uint64
+	val        atomicFloat
+}
+
+// NewCounter registers a counter in the default registry.
+func NewCounter(name, help string) *Counter {
+	return NewCounterIn(DefaultRegistry, name, help)
+}
+
+// NewCounterIn registers a counter in reg.
+func NewCounterIn(reg *Registry, name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	reg.register(c)
+	return c
+}
+
+// Inc adds one. This is the hot-path update — a single atomic add.
+func (c *Counter) Inc() {
+	if !enabled.Load() {
+		return
+	}
+	c.ints.Add(1)
+}
+
+// Add adds v (which must be non-negative) to the counter. Updates are
+// dropped while telemetry is disabled so A/B overhead runs measure a true
+// zero-cost baseline.
+func (c *Counter) Add(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	c.val.add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return float64(c.ints.Load()) + c.val.get() }
+
+// localFlushEvery is how many shard increments accumulate before the batch
+// is folded into the parent counter with one atomic add.
+const localFlushEvery = 64
+
+// LocalCount is a single-writer shard of a Counter for hot paths that
+// already hold a lock: even uncontended, an atomic read-modify-write is a
+// full memory fence, which costs ~10ns inside a store-heavy path. Inc is a
+// plain increment; every localFlushEvery-th call folds the batch into the
+// parent with one atomic add. The owner must serialize Inc and Flush under
+// its own mutex, and the parent's Value lags the truth by at most
+// localFlushEvery-1 per shard between flushes — call Flush from a cold
+// periodic path (a tick, a deactivation) to bound the staleness.
+type LocalCount struct {
+	c *Counter
+	n uint32
+}
+
+// Local returns a new single-writer shard of c.
+func (c *Counter) Local() *LocalCount { return &LocalCount{c: c} }
+
+// Inc adds one to the shard. The caller must hold the lock that
+// serializes this shard.
+func (l *LocalCount) Inc() {
+	if !enabled.Load() {
+		return
+	}
+	l.n++
+	if l.n >= localFlushEvery {
+		l.c.ints.Add(uint64(l.n))
+		l.n = 0
+	}
+}
+
+// Flush folds the shard's remainder into the parent counter, under the
+// same lock that serializes Inc.
+func (l *LocalCount) Flush() {
+	if l.n > 0 {
+		l.c.ints.Add(uint64(l.n))
+		l.n = 0
+	}
+}
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) metricHelp() string { return c.help }
+func (c *Counter) metricType() string { return "counter" }
+func (c *Counter) render(w *strings.Builder) {
+	fmt.Fprintf(w, "%s %g\n", c.name, c.Value())
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	name, help string
+	val        atomicFloat
+}
+
+// NewGauge registers a gauge in the default registry.
+func NewGauge(name, help string) *Gauge {
+	return NewGaugeIn(DefaultRegistry, name, help)
+}
+
+// NewGaugeIn registers a gauge in reg.
+func NewGaugeIn(reg *Registry, name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	reg.register(g)
+	return g
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	g.val.set(v)
+}
+
+// Add adjusts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	g.val.add(v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.val.get() }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) metricHelp() string { return g.help }
+func (g *Gauge) metricType() string { return "gauge" }
+func (g *Gauge) render(w *strings.Builder) {
+	fmt.Fprintf(w, "%s %g\n", g.name, g.Value())
+}
+
+// Histogram is a bounded histogram: observations are counted into a fixed
+// set of upper-bound buckets, and quantiles are exported from the bucket
+// counts. Memory is fixed at construction time regardless of observation
+// volume.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds; implicit +Inf last
+	counts     []atomic.Uint64
+	sum        atomicFloat
+	count      atomic.Uint64
+}
+
+// exportedQuantiles are the quantiles every histogram renders.
+var exportedQuantiles = []float64{0.5, 0.9, 0.99}
+
+// NewHistogram registers a histogram with the given ascending upper
+// bounds in the default registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return NewHistogramIn(DefaultRegistry, name, help, bounds)
+}
+
+// NewHistogramIn registers a histogram in reg.
+func NewHistogramIn(reg *Registry, name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must ascend")
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1), // +1 for +Inf
+	}
+	reg.register(h)
+	return h
+}
+
+// ExponentialBounds returns n ascending bounds starting at start and
+// multiplying by factor — the usual shape for latency histograms.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.get() }
+
+// Quantile returns the upper bound of the bucket containing quantile q
+// (0 < q <= 1). With no observations it returns 0; observations beyond
+// the last bound report +Inf.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+func (h *Histogram) metricName() string { return h.name }
+func (h *Histogram) metricHelp() string { return h.help }
+func (h *Histogram) metricType() string { return "summary" }
+func (h *Histogram) render(w *strings.Builder) {
+	for _, q := range exportedQuantiles {
+		fmt.Fprintf(w, "%s{quantile=%q} %g\n", h.name, fmt.Sprintf("%g", q), h.Quantile(q))
+	}
+	fmt.Fprintf(w, "%s_sum %g\n", h.name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+}
+
+// The telemetry plane's own meta-metrics.
+var (
+	mEvents = NewCounter("androne_telemetry_events_total",
+		"Trace events recorded across all recorders.")
+	mDumps = NewCounter("androne_telemetry_dumps_total",
+		"Black-box FlightRecord dumps taken.")
+)
