@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet androne-vet vet-ip sim telemetry fuzz cover check clean
+.PHONY: all build test race vet androne-vet vet-ip sim telemetry fleet scale-smoke fuzz cover check clean
 
 all: build
 
@@ -67,6 +67,22 @@ telemetry: build
 	else ls telemetry-records/*violation* >/dev/null 2>&1 || { echo "no violation FlightRecord written"; exit 1; }; \
 	echo "telemetry: violation black box recorded"; fi
 
+# Fleet determinism replay under the race detector: the same fleet run
+# serially and across a worker pool must yield bit-identical per-drone
+# trace hashes. FLEET_DRONES scales the fleet (CI default 16; acceptance
+# runs use 256). See DESIGN.md "Fleet scaling & hot-path concurrency".
+FLEET_DRONES ?= 16
+fleet:
+	ANDRONE_FLEET_DRONES=$(FLEET_DRONES) $(GO) test -race -count=1 \
+		-run 'TestFleetDeterminism' ./internal/fleet
+
+# Abbreviated perf gate for the lock-free hot paths: parallel binder
+# transact at GOMAXPROCS 1 vs 8. On hosts with >= 8 CPUs the 8-CPU run
+# must beat the 1-CPU run; on smaller hosts the numbers print but the
+# gate is skipped (oversubscribed goroutines cannot show real scaling).
+scale-smoke: build
+	$(GO) run ./cmd/androne-bench -exp scale -scale-smoke
+
 # Fuzz smoke: each native fuzz target for FUZZTIME (default 15s) on top of
 # its checked-in seed corpus (testdata/fuzz/).
 fuzz:
@@ -85,7 +101,7 @@ cover:
 		{ echo "total coverage $$total% fell below the $$floor% floor"; exit 1; }
 
 # Everything CI enforces, in CI's order.
-check: build vet vet-ip test race sim telemetry fuzz
+check: build vet vet-ip test race sim telemetry fleet scale-smoke fuzz
 
 clean:
 	$(GO) clean ./...

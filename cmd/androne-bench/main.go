@@ -13,6 +13,12 @@
 // stack's instrumented hot paths with telemetry on and off and writes the
 // machine-readable result to -baseline-out (BENCH_baseline.json at the repo
 // root is the committed reference).
+//
+// The extra "scale" experiment (also not part of "all") measures parallel
+// binder transact throughput at -cpu 1/4/8, the vfc-send allocation
+// budget, and fleet replay determinism at 1/8/64/256 drones, writing
+// -scale-out (BENCH_scale.json at the repo root is the committed
+// reference). With -scale-smoke it runs the abbreviated CI gate instead.
 package main
 
 import (
@@ -42,6 +48,8 @@ func main() {
 	netN := flag.Int("net-commands", 150000, "MAVLink commands for the network experiment")
 	seed := flag.String("seed", "androne", "deterministic seed")
 	baselineOut := flag.String("baseline-out", "", "write the baseline experiment's JSON here")
+	scaleOut := flag.String("scale-out", "", "write the scale experiment's JSON here")
+	scaleSmokeFlag := flag.Bool("scale-smoke", false, "run the abbreviated scale gate for CI instead of the full experiment")
 	flag.Parse()
 
 	run := map[string]func() error{
@@ -56,6 +64,7 @@ func main() {
 		"aed":      func() error { return aed(*seed) },
 		"sitl":     func() error { return sitlFlight(*seed) },
 		"baseline": func() error { return baseline(*baselineOut, *seed) },
+		"scale":    func() error { return scale(*scaleOut, *seed, *scaleSmokeFlag) },
 	}
 	names := []string{"table1", "fig10", "fig11", "fig12", "fig13", "net", "gcs", "jitter", "aed", "sitl"}
 

@@ -10,6 +10,13 @@
 //	androne-sim -scenario breach-loiter
 //	androne-sim -file examples/breach-loiter.json
 //	androne-sim -scenario survey-baseline -seed my-seed -json
+//	androne-sim -fleet 64 -workers 8 -scenario survey-baseline
+//
+// With -fleet N the named scenario is flown by N independent drone
+// stacks across a bounded worker pool (internal/fleet): each drone gets
+// a derived seed, results print in drone order with per-drone trace
+// hashes, and the run fails if any drone's invariants fail. The same
+// fleet with any -workers value yields identical hashes.
 //
 // The tick-stamped event trace goes to stdout; invariant violations go to
 // stderr and make the command exit non-zero — CI and humans share one
@@ -24,7 +31,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
+	"androne/internal/fleet"
 	"androne/internal/simharness"
 	"androne/internal/telemetry"
 )
@@ -37,6 +46,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the full result as JSON instead of a trace")
 	quiet := flag.Bool("quiet", false, "suppress the event trace (violations still print)")
 	recordDir := flag.String("record-dir", "", "write each FlightRecord of the run to this directory as JSON")
+	fleetN := flag.Int("fleet", 0, "run N independent drone stacks of the scenario (0 = single run)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for -fleet runs")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +59,11 @@ func main() {
 		for _, sc := range simharness.Sabotaged() {
 			fmt.Printf("  %-20s sabotage=%s\n", sc.Name, sc.Sabotage)
 		}
+		return
+	}
+
+	if *fleetN > 0 {
+		runFleet(*fleetN, *workers, *name, *seed, *asJSON, *quiet)
 		return
 	}
 
@@ -123,6 +139,65 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "androne-sim: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// runFleet flies the named scenario as an N-drone fleet and prints the
+// per-drone outcomes in drone order.
+func runFleet(drones, workers int, scenario, seed string, asJSON, quiet bool) {
+	if scenario == "" {
+		scenario = "survey-baseline"
+	}
+	if seed == "" {
+		seed = "fleet-1"
+	}
+	sum, err := fleet.Run(fleet.Config{
+		Drones: drones, Workers: workers, Seed: seed, Scenario: scenario,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fatal("%v", err)
+		}
+	} else if !quiet {
+		fmt.Printf("fleet: %d drone(s) of %s (seed %q, %d workers)\n",
+			sum.Drones, sum.Scenario, sum.Seed, sum.Workers)
+		for _, r := range sum.Results {
+			status := "passed"
+			if r.Err != "" {
+				status = "error: " + r.Err
+			} else if !r.Passed {
+				status = fmt.Sprintf("%d violation(s)", r.Violations)
+			}
+			fmt.Printf("  drone %04d  seed %-28s ticks %5d  events %3d  hash %s  %s\n",
+				r.Index, r.Seed, r.Ticks, r.Events, shortHash(r.TraceHash), status)
+		}
+	}
+
+	if !sum.Passed() {
+		failed := 0
+		for _, r := range sum.Results {
+			if r.Err != "" || !r.Passed {
+				failed++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "fleet: %d/%d drone(s) failed\n", failed, sum.Drones)
+		os.Exit(1)
+	}
+	if !quiet && !asJSON {
+		fmt.Println("all drones passed")
+	}
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
 }
 
 // lastKinds summarizes the tail of a record's event stream.

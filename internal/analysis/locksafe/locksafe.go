@@ -16,7 +16,13 @@
 //     run under those locks by construction), as are its lock-sharded
 //     counters (LocalCount), which exist precisely for under-lock use;
 //   - conditional branches and loop bodies must leave the lock state they
-//     found, otherwise later code runs with an unknowable lock state.
+//     found, otherwise later code runs with an unknowable lock state;
+//   - copy-on-write snapshot discipline: a map obtained through an
+//     atomic.Pointer Load is shared with lock-free readers, so writing or
+//     deleting through it in place is a data race no matter what locks the
+//     writer holds. Mutations must clone the map, edit the clone, and
+//     Store the fresh map under the owning mutex (the pattern the binder
+//     driver, device registry, and VFC whitelist follow).
 //
 // The analysis is a per-function abstract interpretation over lock "keys"
 // (the printed receiver expression, e.g. "c.mu"): no alias analysis, no
@@ -53,7 +59,7 @@ func run(pass *framework.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			c := &checker{pass: pass}
+			c := &checker{pass: pass, snap: make(map[string]token.Pos)}
 			st := make(state)
 			st, terminated := c.stmts(fd.Body.List, st)
 			if !terminated {
@@ -124,6 +130,11 @@ func (s state) anyHeld() string {
 
 type checker struct {
 	pass *framework.Pass
+	// snap maps variable names to the position of the atomic.Pointer Load
+	// their value came from — the COW-snapshot taint set. Tracking is
+	// linear (last assignment wins) and name-based, matching the lock-key
+	// granularity of the rest of the checker.
+	snap map[string]token.Pos
 }
 
 // stmts interprets a statement sequence, returning the resulting state and
@@ -159,6 +170,8 @@ func (c *checker) stmt(s ast.Stmt, st state) (state, bool) {
 		for _, e := range s.Lhs {
 			st = c.scanExpr(e, st)
 		}
+		c.checkSnapshotMutation(s)
+		c.trackSnapshots(s)
 		return st, false
 	case *ast.DeclStmt:
 		if gd, ok := s.Decl.(*ast.GenDecl); ok {
@@ -231,6 +244,11 @@ func (c *checker) stmt(s ast.Stmt, st state) (state, bool) {
 	case *ast.LabeledStmt:
 		return c.stmt(s.Stmt, st)
 	case *ast.IncDecStmt:
+		if ix, ok := ast.Unparen(s.X).(*ast.IndexExpr); ok && c.isMapExpr(ix.X) {
+			if pos, ok := c.snapshotView(ix.X); ok {
+				c.reportSnapshotWrite(s.X.Pos(), pos)
+			}
+		}
 		return c.scanExpr(s.X, st), false
 	}
 	return st, false
@@ -393,6 +411,7 @@ func (c *checker) scanExpr(e ast.Expr, st state) state {
 			}
 			c.checkDynamicCall(n, st)
 			c.checkTelemetryCall(n, st)
+			c.checkSnapshotDelete(n)
 		}
 		return true
 	})
@@ -544,6 +563,133 @@ func (c *checker) checkTelemetryCall(call *ast.CallExpr, st state) {
 	}
 	c.pass.Reportf(call.Pos(), "telemetry %s while holding %s (locked at %s): emission and interning take recorder locks; hoist the call outside the critical section",
 		fn.Name(), key, c.pos(st[key].lockPos))
+}
+
+// --- copy-on-write snapshot discipline -------------------------------
+//
+// A map published through an atomic.Pointer is indexed by readers that
+// hold no lock at all; the only safe mutation is clone-then-swap. The
+// rule taints every variable whose value flows from a Pointer.Load and
+// flags index writes, deletes, and m[k]++ through any tainted view —
+// with or without a mutex held, because the readers never take one.
+// Fresh maps (make, composite literals, maps.Clone results) clear the
+// taint on assignment, which is exactly what admits the clone path.
+
+// isAtomicPointerLoad reports whether e is a zero-argument Load() call on
+// a sync/atomic.Pointer value.
+func (c *checker) isAtomicPointerLoad(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}
+
+// snapshotView resolves an expression to its snapshot origin, if it is a
+// view of an atomic.Pointer snapshot: the Load() call itself, a deref of
+// one, or a variable the taint set already tracks.
+func (c *checker) snapshotView(e ast.Expr) (token.Pos, bool) {
+	e = ast.Unparen(e)
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = ast.Unparen(star.X)
+	}
+	if c.isAtomicPointerLoad(e) {
+		return e.Pos(), true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if pos, ok := c.snap[id.Name]; ok {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+// isMapExpr reports whether e's type is (or points to) a map.
+func (c *checker) isMapExpr(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// trackSnapshots updates the taint set for a 1:1 assignment: a snapshot
+// view taints the target; any other value (make, clone, literal) clears
+// it — the clearing is what lets clone-then-swap pass.
+func (c *checker) trackSnapshots(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if pos, ok := c.snapshotView(s.Rhs[i]); ok {
+			c.snap[id.Name] = pos
+		} else {
+			delete(c.snap, id.Name)
+		}
+	}
+}
+
+// checkSnapshotMutation flags index writes through a snapshot view on the
+// left-hand side of an assignment.
+func (c *checker) checkSnapshotMutation(s *ast.AssignStmt) {
+	for _, lhs := range s.Lhs {
+		ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok || !c.isMapExpr(ix.X) {
+			continue
+		}
+		if pos, ok := c.snapshotView(ix.X); ok {
+			c.reportSnapshotWrite(lhs.Pos(), pos)
+		}
+	}
+}
+
+// checkSnapshotDelete flags delete() on a snapshot view.
+func (c *checker) checkSnapshotDelete(call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "delete" || len(call.Args) != 2 {
+		return
+	}
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; !ok || !tv.IsBuiltin() {
+		return
+	}
+	if !c.isMapExpr(call.Args[0]) {
+		return
+	}
+	if pos, ok := c.snapshotView(call.Args[0]); ok {
+		c.pass.Reportf(call.Pos(), "delete from a map loaded from an atomic.Pointer snapshot (loaded at %s): readers index it lock-free; clone, mutate the clone, and Store the fresh map under the owning mutex",
+			c.pos(pos))
+	}
+}
+
+func (c *checker) reportSnapshotWrite(at, loadPos token.Pos) {
+	c.pass.Reportf(at, "write to a map loaded from an atomic.Pointer snapshot (loaded at %s): readers index it lock-free; clone, mutate the clone, and Store the fresh map under the owning mutex",
+		c.pos(loadPos))
 }
 
 // lockOp reports whether call is a Lock/Unlock/RLock/RUnlock on a

@@ -11,6 +11,7 @@ func TestLocksafe(t *testing.T) {
 	analysistest.Run(t, "testdata", locksafe.Analyzer,
 		"locktest",
 		"teltest",
+		"cowtest",
 		"androne/internal/telemetry",
 	)
 }

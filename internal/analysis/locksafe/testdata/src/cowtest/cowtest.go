@@ -1,0 +1,78 @@
+// Package cowtest exercises the locksafe copy-on-write snapshot rule: a
+// map published through an atomic.Pointer is indexed by readers holding
+// no lock, so in-place mutation of a loaded snapshot is a data race no
+// matter what the writer locks. The only admitted mutation is the
+// clone-then-swap path goodCloneThenSwap demonstrates.
+package cowtest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type registry struct {
+	mu    sync.Mutex
+	table atomic.Pointer[map[string]int]
+}
+
+// badDirect mutates the shared snapshot through the Load expression
+// itself, outside any mutex.
+func (r *registry) badDirect(k string) {
+	(*r.table.Load())[k] = 1 // want `write to a map loaded from an atomic\.Pointer snapshot`
+}
+
+// badVar mutates through a variable holding the snapshot.
+func (r *registry) badVar(k string) {
+	m := *r.table.Load()
+	m[k] = 2 // want `write to a map loaded from an atomic\.Pointer snapshot`
+}
+
+// badUnderLock shows the owning mutex does not excuse in-place mutation:
+// readers index the same map without taking r.mu.
+func (r *registry) badUnderLock(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := r.table.Load()
+	(*snap)[k] = 3 // want `write to a map loaded from an atomic\.Pointer snapshot`
+}
+
+// badDelete deletes through a snapshot view.
+func (r *registry) badDelete(k string) {
+	m := *r.table.Load()
+	delete(m, k) // want `delete from a map loaded from an atomic\.Pointer snapshot`
+}
+
+// badIncrement bumps a counter in place through the snapshot.
+func (r *registry) badIncrement(k string) {
+	m := *r.table.Load()
+	m[k]++ // want `write to a map loaded from an atomic\.Pointer snapshot`
+}
+
+// goodCloneThenSwap is the allowed mutation path: snapshot under the
+// mutex, copy into a fresh map, mutate the copy, publish it with Store.
+// The fresh make() clears the taint, so none of this is flagged.
+func (r *registry) goodCloneThenSwap(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.table.Load()
+	next := make(map[string]int, len(old)+1)
+	for key, v := range old {
+		next[key] = v
+	}
+	next[k] = 4
+	r.table.Store(&next)
+}
+
+// goodRead indexes the snapshot lock-free — reads are the whole point.
+func (r *registry) goodRead(k string) int {
+	return (*r.table.Load())[k]
+}
+
+// goodReuse shows a tainted name reassigned to a fresh map is clean again.
+func (r *registry) goodReuse(k string) {
+	m := *r.table.Load()
+	_ = len(m)
+	m = make(map[string]int)
+	m[k] = 5
+	_ = m
+}

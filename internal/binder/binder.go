@@ -18,12 +18,22 @@
 // Context Manager (handle 0) or passed in a transaction by someone who
 // already holds one. The device-namespace extension scopes handle 0 per
 // container, so each virtual drone sees only its own ServiceManager.
+//
+// Concurrency model (see DESIGN.md "Fleet scaling & hot-path concurrency"):
+// the read-mostly structures a transaction touches — the namespace table,
+// each namespace's context manager, and each process' handle table — are
+// copy-on-write snapshots behind atomic.Pointer. The data-only Transact
+// fast path takes no lock at all; every mutation (namespace churn, handle
+// installation, process exit) still serializes on Driver.mu and publishes a
+// fresh snapshot, so readers observe either the old table or the new one,
+// never a half-built map.
 package binder
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"androne/internal/telemetry"
 )
@@ -96,7 +106,9 @@ type Reply struct {
 // the node's owning process: object handles in the Txn are valid there.
 type Handler func(txn Txn) (Reply, error)
 
-// Node is a Binder object: a service endpoint owned by a process.
+// Node is a Binder object: a service endpoint owned by a process. All
+// fields are set at construction and never written again, which is what
+// lets the lock-free transaction path read them without synchronization.
 type Node struct {
 	id    uint64
 	name  string // debug label
@@ -113,21 +125,28 @@ type Namespace struct {
 	driver *Driver
 	name   string
 	key    telemetry.Key // interned name, cached for zero-cost emission
-	mgr    *Node         // context manager node, nil until registered
+	// mgr is the context manager node. Handle-0 resolution on the
+	// transaction fast path loads it with no lock; BecomeContextManager
+	// stores it under driver.mu.
+	mgr atomic.Pointer[Node]
 }
 
 // Name returns the namespace (container) identifier.
 func (ns *Namespace) Name() string { return ns.name }
 
 // Proc is a process attached to the Binder driver within a namespace.
+// pid, euid, ns, and driver are immutable after Attach.
 type Proc struct {
-	driver  *Driver
-	ns      *Namespace
-	pid     int
-	euid    int
-	dead    bool
-	next    Handle
-	handles map[Handle]*Node
+	driver *Driver
+	ns     *Namespace
+	pid    int
+	euid   int
+	dead   atomic.Bool
+	next   Handle // next free handle; guarded by driver.mu (mutation side only)
+	// handles is the copy-on-write snapshot of the handle table: the
+	// transaction fast path loads and indexes it with no lock; mutations
+	// clone the map, add the entry, and swap the pointer under driver.mu.
+	handles atomic.Pointer[map[Handle]*Node]
 }
 
 // PID returns the process id.
@@ -142,10 +161,13 @@ func (p *Proc) Namespace() *Namespace { return p.ns }
 // Driver is the Binder "kernel driver": the authority on namespaces, nodes,
 // handle tables, and the AnDrone publish ioctls.
 type Driver struct {
-	mu         sync.Mutex
-	nextNode   uint64
-	nextPID    int
-	namespaces map[string]*Namespace
+	mu       sync.Mutex
+	nextNode uint64
+	nextPID  int
+	// namespaces is the copy-on-write snapshot of name → namespace.
+	// Lookups load and index it with no lock; CreateNamespace and
+	// RemoveNamespace clone-then-swap under d.mu.
+	namespaces atomic.Pointer[map[string]*Namespace]
 	devcon     *Namespace // the device container's namespace, if designated
 	// published records PUBLISH_TO_ALL_NS registrations so they can be
 	// replayed into namespaces created later ("the same process will be
@@ -158,10 +180,12 @@ type Driver struct {
 	// tel is the drone's flight recorder; nil when running without one.
 	// Set before use (SetRecorder), never written afterwards.
 	tel *telemetry.Recorder
-	// txns shards mTransactions under d.mu: Transact is the hot ioctl and a
-	// plain increment there avoids an atomic fence per call. FlushMetrics
-	// folds the batch in.
-	txns *telemetry.LocalCount
+	// txns shards mTransactions across cache-line-padded atomic cells.
+	// Transact is the hot ioctl and takes no lock, so a LocalCount (which
+	// needs an owning mutex) cannot count it; the sharded cells keep
+	// parallel callers off each other's cache lines. FlushMetrics folds
+	// the batch in.
+	txns *telemetry.ShardedCount
 }
 
 type deathLink struct {
@@ -176,12 +200,14 @@ type publishedService struct {
 
 // NewDriver creates an empty Binder driver.
 func NewDriver() *Driver {
-	return &Driver{
-		namespaces: make(map[string]*Namespace),
+	d := &Driver{
 		nextPID:    100,
 		deathLinks: make(map[*Proc][]deathLink),
-		txns:       mTransactions.Local(),
+		txns:       mTransactions.Sharded(),
 	}
+	empty := make(map[string]*Namespace)
+	d.namespaces.Store(&empty)
+	return d
 }
 
 // CreateNamespace creates a device namespace for a container. Services
@@ -191,11 +217,17 @@ func (d *Driver) CreateNamespace(name string) (*Namespace, error) {
 	key := telemetry.K(name) // intern outside d.mu: K takes its own lock
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, ok := d.namespaces[name]; ok {
+	cur := *d.namespaces.Load()
+	if _, ok := cur[name]; ok {
 		return nil, fmt.Errorf("binder: namespace %q already exists", name)
 	}
 	ns := &Namespace{driver: d, name: name, key: key}
-	d.namespaces[name] = ns
+	next := make(map[string]*Namespace, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[name] = ns
+	d.namespaces.Store(&next)
 	return ns, nil
 }
 
@@ -204,7 +236,17 @@ func (d *Driver) CreateNamespace(name string) (*Namespace, error) {
 func (d *Driver) RemoveNamespace(name string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	delete(d.namespaces, name)
+	cur := *d.namespaces.Load()
+	if _, ok := cur[name]; !ok {
+		return
+	}
+	next := make(map[string]*Namespace, len(cur))
+	for k, v := range cur {
+		if k != name {
+			next[k] = v
+		}
+	}
+	d.namespaces.Store(&next)
 }
 
 // SetDeviceNamespace designates ns as the device container's namespace,
@@ -215,15 +257,23 @@ func (d *Driver) SetDeviceNamespace(ns *Namespace) {
 	d.devcon = ns
 }
 
-// Namespaces returns the names of all current namespaces.
+// Namespaces returns the names of all current namespaces. Lock-free: it
+// reads the current snapshot.
 func (d *Driver) Namespaces() []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := make([]string, 0, len(d.namespaces))
-	for name := range d.namespaces {
+	cur := *d.namespaces.Load()
+	out := make([]string, 0, len(cur))
+	for name := range cur {
 		out = append(out, name)
 	}
 	return out
+}
+
+// LookupNamespace returns the namespace registered under name. Lock-free:
+// fleet assemblies resolve their containers' namespaces on hot paths
+// without touching d.mu.
+func (d *Driver) LookupNamespace(name string) (*Namespace, bool) {
+	ns, ok := (*d.namespaces.Load())[name]
+	return ns, ok
 }
 
 // Attach creates a process in the namespace with the given effective uid,
@@ -233,14 +283,16 @@ func (ns *Namespace) Attach(euid int) *Proc {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.nextPID++
-	return &Proc{
-		driver:  d,
-		ns:      ns,
-		pid:     d.nextPID,
-		euid:    euid,
-		handles: make(map[Handle]*Node),
-		next:    1, // handle 0 is reserved for the context manager
+	p := &Proc{
+		driver: d,
+		ns:     ns,
+		pid:    d.nextPID,
+		euid:   euid,
+		next:   1, // handle 0 is reserved for the context manager
 	}
+	empty := make(map[Handle]*Node)
+	p.handles.Store(&empty)
+	return p
 }
 
 // NewNode creates a Binder node owned by p with the given handler. The node
@@ -261,7 +313,7 @@ func (p *Proc) NewNode(name string, h Handler) *Node {
 func (p *Proc) BecomeContextManager(node *Node) error {
 	d := p.driver
 	d.mu.Lock()
-	if p.dead {
+	if p.dead.Load() {
 		d.mu.Unlock()
 		return ErrDeadProc
 	}
@@ -269,11 +321,11 @@ func (p *Proc) BecomeContextManager(node *Node) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: context manager node must be owned by caller", ErrPermission)
 	}
-	if p.ns.mgr != nil && !p.ns.mgr.dead() {
+	if mgr := p.ns.mgr.Load(); mgr != nil && !mgr.dead() {
 		d.mu.Unlock()
 		return ErrAlreadyManager
 	}
-	p.ns.mgr = node
+	p.ns.mgr.Store(node)
 	// Replay prior PUBLISH_TO_ALL_NS registrations into this new manager,
 	// unless this namespace is the device container itself.
 	var replay []publishedService
@@ -284,24 +336,25 @@ func (p *Proc) BecomeContextManager(node *Node) error {
 	for _, svc := range replay {
 		// Registration failures for individual services must not prevent the
 		// manager from coming up; the driver keeps going, as a kernel would.
-		_, _ = d.transactLocked(kernelSender(), node, CodeAddService, []byte(svc.name), []*Node{svc.node})
+		_, _ = d.deliver(kernelSender(), node, CodeAddService, []byte(svc.name), []*Node{svc.node})
 	}
 	return nil
 }
 
-func (n *Node) dead() bool { return n.owner == nil || n.owner.dead }
+func (n *Node) dead() bool { return n.owner == nil || n.owner.dead.Load() }
 
 // Exit detaches the process: all its nodes become dead, its handles are
 // released, and death notifications registered against its nodes fire.
 func (p *Proc) Exit() {
 	d := p.driver
 	d.mu.Lock()
-	if p.dead {
+	if p.dead.Load() {
 		d.mu.Unlock()
 		return
 	}
-	p.dead = true
-	p.handles = make(map[Handle]*Node)
+	p.dead.Store(true)
+	empty := make(map[Handle]*Node)
+	p.handles.Store(&empty)
 	links := d.deathLinks[p]
 	delete(d.deathLinks, p)
 	d.mu.Unlock()
@@ -326,18 +379,24 @@ func (p *Proc) LinkToDeath(h Handle, fn func()) error {
 	return nil
 }
 
-// resolve maps a handle to a node under d.mu.
+// resolve maps a handle to a node. Lock-free: it reads the dead flag, the
+// namespace's manager pointer, and the handle-table snapshot, all of which
+// are published atomically by the mutation paths. A resolution racing a
+// mutation observes either the old table or the new one — exactly the
+// serialization a locked lookup would have produced on one side of the
+// mutation or the other.
 func (p *Proc) resolve(h Handle) (*Node, error) {
-	if p.dead {
+	if p.dead.Load() {
 		return nil, ErrDeadProc
 	}
 	if h == ContextManagerHandle {
-		if p.ns.mgr == nil || p.ns.mgr.dead() {
+		mgr := p.ns.mgr.Load()
+		if mgr == nil || mgr.dead() {
 			return nil, ErrNoContextManager
 		}
-		return p.ns.mgr, nil
+		return mgr, nil
 	}
-	n, ok := p.handles[h]
+	n, ok := (*p.handles.Load())[h]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrBadHandle, h)
 	}
@@ -347,31 +406,45 @@ func (p *Proc) resolve(h Handle) (*Node, error) {
 	return n, nil
 }
 
-// install adds a node to the process' handle table, returning the handle.
-// Caller holds d.mu.
-func (p *Proc) install(n *Node) Handle {
-	for h, existing := range p.handles {
+// installLocked adds a node to the process' handle table, returning the
+// handle. Caller holds d.mu. The table is never mutated in place: the
+// snapshot readers hold must stay frozen, so installation clones the map,
+// adds the entry, and publishes the clone.
+func (p *Proc) installLocked(n *Node) Handle {
+	cur := *p.handles.Load()
+	for h, existing := range cur {
 		if existing == n {
 			return h
 		}
 	}
 	h := p.next
 	p.next++
-	p.handles[h] = n
+	next := make(map[Handle]*Node, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[h] = n
+	p.handles.Store(&next)
 	return h
 }
 
 // NodeFor returns the node a handle refers to, for passing a received
 // service reference onward in a Reply.
 func (p *Proc) NodeFor(h Handle) (*Node, error) {
-	p.driver.mu.Lock()
-	defer p.driver.mu.Unlock()
 	return p.resolve(h)
 }
 
 // Transact sends a synchronous transaction to the node referenced by h,
 // passing any local nodes as objects. The reply's object references are
 // installed in p's handle table and returned as handles.
+//
+// The data-only round trip — no objects sent, none returned — is entirely
+// lock-free: handle resolution reads copy-on-write snapshots, the sender
+// identity is built from immutable Proc fields, the target's handler is
+// immutable after NewNode, and the transaction counter is sharded across
+// padded atomic cells. Parallel callers in different processes never touch
+// Driver.mu (measured by androne-bench -exp scale). Object transfer still
+// serializes on d.mu because it grows a handle table.
 func (p *Proc) Transact(h Handle, code uint32, data []byte, objects []*Node) ([]byte, []Handle, error) {
 	d := p.driver
 	if len(data) > MaxTransactionBytes {
@@ -380,53 +453,63 @@ func (p *Proc) Transact(h Handle, code uint32, data []byte, objects []*Node) ([]
 		d.tel.Emit(p.ns.key, kTxnError, int64(code), int64(len(data)), "too-large")
 		return nil, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
 	}
-	d.mu.Lock()
-	d.txns.Inc() // sharded under d.mu; FlushMetrics folds the batch in
+	d.txns.Inc(p.pid) // sharded by PID; FlushMetrics folds the batch in
 	target, err := p.resolve(h)
 	if err != nil {
-		d.mu.Unlock()
 		mTransactErrors.Inc()
 		d.tel.Emit(p.ns.key, kTxnError, int64(code), int64(h), "resolve")
 		return nil, nil, err
 	}
 	sender := Sender{PID: p.pid, EUID: p.euid, Container: p.ns.name}
-	d.mu.Unlock()
 
-	reply, err := d.transactLocked(sender, target, code, data, objects)
+	reply, err := d.deliver(sender, target, code, data, objects)
 	if err != nil {
 		mTransactErrors.Inc()
 		d.tel.Emit(p.ns.key, kTxnError, int64(code), 0, "deliver")
 		return nil, nil, err
 	}
 
+	if len(reply.Objects) == 0 {
+		// Data-only reply: nothing to install, stay off the lock.
+		if p.dead.Load() {
+			return nil, nil, ErrDeadProc
+		}
+		return reply.Data, nil, nil
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if p.dead {
+	if p.dead.Load() {
 		return nil, nil, ErrDeadProc
 	}
 	handles := make([]Handle, len(reply.Objects))
 	for i, n := range reply.Objects {
-		handles[i] = p.install(n)
+		handles[i] = p.installLocked(n)
 	}
 	return reply.Data, handles, nil
 }
 
-// transactLocked delivers a transaction to target, translating object nodes
-// into handles in the target's process. Must be called WITHOUT d.mu held;
-// the name records that the driver state it touches is internally locked.
-func (d *Driver) transactLocked(sender Sender, target *Node, code uint32, data []byte, objects []*Node) (Reply, error) {
-	d.mu.Lock()
-	if target.dead() {
+// deliver hands a transaction to the target's handler, translating object
+// nodes into handles in the target's process. The data-only case takes no
+// lock (liveness is an atomic read and the handler is immutable); passing
+// objects grows the owner's handle table and therefore serializes on d.mu.
+func (d *Driver) deliver(sender Sender, target *Node, code uint32, data []byte, objects []*Node) (Reply, error) {
+	var objHandles []Handle
+	if len(objects) > 0 {
+		owner := target.owner
+		d.mu.Lock()
+		if target.dead() {
+			d.mu.Unlock()
+			return Reply{}, ErrDeadNode
+		}
+		objHandles = make([]Handle, len(objects))
+		for i, n := range objects {
+			objHandles[i] = owner.installLocked(n)
+		}
 		d.mu.Unlock()
+	} else if target.dead() {
 		return Reply{}, ErrDeadNode
 	}
-	owner := target.owner
-	objHandles := make([]Handle, len(objects))
-	for i, n := range objects {
-		objHandles[i] = owner.install(n)
-	}
 	h := target.h
-	d.mu.Unlock()
 	if h == nil {
 		return Reply{}, fmt.Errorf("binder: node %q has no handler", target.name)
 	}
@@ -456,19 +539,19 @@ func (p *Proc) PublishToAllNS(name string, h Handle) error {
 	d.published = append(d.published, publishedService{name: name, node: node})
 	// Snapshot the managers to call outside the lock.
 	var managers []*Node
-	for _, ns := range d.namespaces {
+	for _, ns := range *d.namespaces.Load() {
 		if ns == d.devcon {
 			continue
 		}
 		// The presence of a ServiceManager indicates the container is a
 		// virtual drone running Android Things.
-		if ns.mgr != nil && !ns.mgr.dead() {
-			managers = append(managers, ns.mgr)
+		if mgr := ns.mgr.Load(); mgr != nil && !mgr.dead() {
+			managers = append(managers, mgr)
 		}
 	}
 	d.mu.Unlock()
 	for _, mgr := range managers {
-		if _, err := d.transactLocked(kernelSender(), mgr, CodeAddService, []byte(name), []*Node{node}); err != nil {
+		if _, err := d.deliver(kernelSender(), mgr, CodeAddService, []byte(name), []*Node{node}); err != nil {
 			return fmt.Errorf("binder: publishing %q to %q: %w", name, mgr.owner.ns.name, err)
 		}
 	}
@@ -497,14 +580,14 @@ func (p *Proc) PublishToDevCon(name string, h Handle) error {
 		d.mu.Unlock()
 		return err
 	}
-	mgr := d.devcon.mgr
+	mgr := d.devcon.mgr.Load()
 	if mgr == nil || mgr.dead() {
 		d.mu.Unlock()
 		return ErrNoContextManager
 	}
 	scoped := ScopedName(name, p.ns.name)
 	d.mu.Unlock()
-	_, err = d.transactLocked(kernelSender(), mgr, CodeAddService, []byte(scoped), []*Node{node})
+	_, err = d.deliver(kernelSender(), mgr, CodeAddService, []byte(scoped), []*Node{node})
 	if err == nil {
 		mPublishes.Inc()
 		d.tel.Emit(p.ns.key, kPublishDevCon, 0, 0, scoped)

@@ -1,6 +1,7 @@
 // Flight-recorder instrumentation for the binder plane. Transactions are
-// the hottest path in the stack, so they are counted with a plain shard
-// under d.mu (no per-call atomic fence) that FlushMetrics folds in; trace
+// the hottest path in the stack — and since the fleet de-contention pass
+// they take no lock at all, so they are counted with PID-sharded padded
+// atomic cells (telemetry.ShardedCount) that FlushMetrics folds in; trace
 // events are reserved for the rare operations (publish ioctls and
 // transaction failures). All emissions happen outside d.mu — Emit takes
 // the recorder's own locks (enforced by the locksafe analyzer).
@@ -31,9 +32,8 @@ func (d *Driver) SetRecorder(r *telemetry.Recorder) { d.tel = r }
 
 // FlushMetrics folds the driver's sharded transaction count into the
 // process counter. The drone's tick loop calls this so /metrics lags by at
-// most one tick of transactions.
+// most one tick of transactions. Flush drains each cell with an atomic
+// swap, so no driver lock is needed even against concurrent transactions.
 func (d *Driver) FlushMetrics() {
-	d.mu.Lock()
 	d.txns.Flush()
-	d.mu.Unlock()
 }

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"androne/internal/geo"
@@ -72,35 +73,62 @@ var (
 // drone-specific hardware/software stack is not designed for multiplexing,
 // so only one holder — in AnDrone, always the device container — may have a
 // device open.
+//
+// The device set is populated at bring-up and then read on every sensor
+// and service path, so it lives in a copy-on-write snapshot behind an
+// atomic pointer: lookups (Open's resolution, Lookup, List, ByKind) load
+// the snapshot with no lock, and Add clones-then-swaps under r.mu. The
+// open/close book-keeping is genuinely mutable state and stays under r.mu.
 type Registry struct {
-	mu      sync.Mutex
-	devices map[string]Device
-	opened  map[string]string // device name -> holder
+	// devices is the COW snapshot of name → device; never mutated in
+	// place (see the locksafe COW rule).
+	devices atomic.Pointer[map[string]Device]
+
+	mu     sync.Mutex
+	opened map[string]string // device name -> holder
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{devices: make(map[string]Device), opened: make(map[string]string)}
+	r := &Registry{opened: make(map[string]string)}
+	empty := make(map[string]Device)
+	r.devices.Store(&empty)
+	return r
 }
 
 // Add registers a device under its name. The device's identity methods are
 // consulted before taking the lock: Device is an interface, and the
-// registry must never call out through one while holding r.mu.
+// registry must never call out through one while holding r.mu. The
+// snapshot is cloned, extended, and republished so concurrent readers keep
+// a frozen view.
 func (r *Registry) Add(d Device) {
 	name := d.Name()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.devices[name] = d
+	cur := *r.devices.Load()
+	next := make(map[string]Device, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[name] = d
+	r.devices.Store(&next)
 }
 
-// Open acquires exclusive access to a device for holder.
+// Lookup returns a registered device without opening it. Lock-free.
+func (r *Registry) Lookup(name string) (Device, bool) {
+	d, ok := (*r.devices.Load())[name]
+	return d, ok
+}
+
+// Open acquires exclusive access to a device for holder. Device resolution
+// reads the snapshot; only the exclusivity book-keeping takes r.mu.
 func (r *Registry) Open(name, holder string) (Device, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	d, ok := r.devices[name]
+	d, ok := (*r.devices.Load())[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoDevice, name)
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if cur, busy := r.opened[name]; busy {
 		return nil, fmt.Errorf("%w: %q held by %q", ErrBusy, name, cur)
 	}
@@ -128,37 +156,25 @@ func (r *Registry) Holder(name string) (string, bool) {
 	return h, ok
 }
 
-// List returns the registered device names, sorted.
+// List returns the registered device names, sorted. Lock-free.
 func (r *Registry) List() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.devices))
-	for n := range r.devices {
+	cur := *r.devices.Load()
+	out := make([]string, 0, len(cur))
+	for n := range cur {
 		out = append(out, n)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// ByKind returns the names of devices of the given kind, sorted. The
-// device set is snapshotted under the lock and the Kind calls — arbitrary
-// interface code — happen after release.
+// ByKind returns the names of devices of the given kind, sorted. The Kind
+// calls — arbitrary interface code — run against the frozen snapshot with
+// no registry lock held.
 func (r *Registry) ByKind(k Kind) []string {
-	r.mu.Lock()
-	type entry struct {
-		name string
-		dev  Device
-	}
-	snapshot := make([]entry, 0, len(r.devices))
-	for n, d := range r.devices {
-		snapshot = append(snapshot, entry{n, d})
-	}
-	r.mu.Unlock()
-
 	var out []string
-	for _, e := range snapshot {
-		if e.dev.Kind() == k {
-			out = append(out, e.name)
+	for n, d := range *r.devices.Load() {
+		if d.Kind() == k {
+			out = append(out, n)
 		}
 	}
 	sort.Strings(out)

@@ -1,0 +1,210 @@
+// Package fleet runs many independent virtual-drone stacks — each a full
+// binder→devcon→mavproxy→flight→sitl assembly driven by the simharness
+// runner — across a bounded worker pool. This is the repo's scale-out
+// surface for the paper's premise (one device container + one VFC per
+// virtual drone, many virtual drones per cloud): AeroDaaS and Cloudrone
+// both make drone count the figure of merit, and androne-bench -exp scale
+// charts ours against BENCH_scale.json.
+//
+// Determinism contract: a fleet run is a pure function of (scenario,
+// seed, drone count). Worker count only changes wall-clock time, never
+// results — every drone derives its own seed from the fleet seed and its
+// index, every stack is fully private (its own binder driver, device
+// registry, telemetry ring), and results land in an index-addressed slice
+// so ordering is positional, not completion-ordered. TestFleetDeterminism
+// replays the same fleet at workers=1 and workers=NumCPU and requires
+// bit-identical per-drone trace hashes; DESIGN.md "Fleet scaling &
+// hot-path concurrency" records the invariants that make this hold.
+//
+// One determinism hazard is worth naming: telemetry key interning is
+// global and assigns key numbers in first-use order, which under a
+// worker pool depends on goroutine interleaving. Trace hashes therefore
+// cover only rendered strings (Event.String, Violation.String) — never
+// raw key integers or FlightRecord key numbers.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"androne/internal/simharness"
+)
+
+// Config orders a fleet run.
+type Config struct {
+	// Drones is the number of independent drone stacks to run.
+	Drones int
+	// Workers bounds the number of stacks running concurrently.
+	// 0 means 1 (fully serial — the replay reference).
+	Workers int
+	// Seed is the fleet-level seed; drone i runs under the derived seed
+	// "<Seed>/drone-%04d" so every stack is deterministic in isolation.
+	Seed string
+	// Scenario names the simharness builtin each drone flies
+	// (default "survey-baseline").
+	Scenario string
+}
+
+// DroneResult is one drone's outcome, hash included.
+type DroneResult struct {
+	// Index is the drone's position in the fleet (also its result slot).
+	Index int `json:"index"`
+	// Seed is the derived per-drone seed.
+	Seed string `json:"seed"`
+	// Ticks the scenario ran for.
+	Ticks int `json:"ticks"`
+	// Events and Violations counts, for quick fleet summaries.
+	Events     int `json:"events"`
+	Violations int `json:"violations"`
+	// Passed reports whether the run finished with no violations.
+	Passed bool `json:"passed"`
+	// TraceHash is a sha256 over the rendered run: scenario name, seed,
+	// tick count, every event line, and every violation line. Raw
+	// telemetry key numbers are deliberately excluded (interning order
+	// is global and scheduling-dependent; see the package comment).
+	TraceHash string `json:"trace-hash"`
+	// Err is non-empty if the stack failed to build or run.
+	Err string `json:"err,omitempty"`
+}
+
+// Summary is a completed fleet run.
+type Summary struct {
+	Scenario string        `json:"scenario"`
+	Seed     string        `json:"seed"`
+	Drones   int           `json:"drones"`
+	Workers  int           `json:"workers"`
+	Results  []DroneResult `json:"results"`
+}
+
+// Passed reports whether every drone ran and passed its checkers.
+func (s *Summary) Passed() bool {
+	for i := range s.Results {
+		if s.Results[i].Err != "" || !s.Results[i].Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Hashes returns the per-drone trace hashes in fleet order — the value
+// the determinism replay compares across worker counts.
+func (s *Summary) Hashes() []string {
+	hs := make([]string, len(s.Results))
+	for i := range s.Results {
+		hs[i] = s.Results[i].TraceHash
+	}
+	return hs
+}
+
+// DroneSeed derives drone i's seed from the fleet seed. Exported so the
+// bench and CLI surfaces can label runs consistently.
+func DroneSeed(fleetSeed string, i int) string {
+	return fmt.Sprintf("%s/drone-%04d", fleetSeed, i)
+}
+
+// cloneScenario deep-copies a scenario through its JSON form (every field
+// that shapes a run is JSON-tagged) so each drone can own a private copy
+// with its derived seed, no matter what the runner mutates.
+func cloneScenario(sc *simharness.Scenario) (*simharness.Scenario, error) {
+	raw, err := json.Marshal(sc)
+	if err != nil {
+		return nil, err
+	}
+	out := &simharness.Scenario{}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// hashResult renders one run to its canonical trace hash.
+func hashResult(res *simharness.Result) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "scenario=%s\nseed=%s\nticks=%d\n", res.Scenario, res.Seed, res.Ticks)
+	h.Write([]byte(res.Trace()))
+	for _, v := range res.Violations {
+		h.Write([]byte(v.String()))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Run executes the fleet and returns per-drone results in index order.
+func Run(cfg Config) (*Summary, error) {
+	if cfg.Drones <= 0 {
+		return nil, fmt.Errorf("fleet: drone count %d, want > 0", cfg.Drones)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > cfg.Drones {
+		workers = cfg.Drones
+	}
+	name := cfg.Scenario
+	if name == "" {
+		name = "survey-baseline"
+	}
+	base := simharness.ByName(name)
+	if base == nil {
+		return nil, fmt.Errorf("fleet: unknown scenario %q", name)
+	}
+	seed := cfg.Seed
+	if seed == "" {
+		seed = "fleet-1"
+	}
+
+	sum := &Summary{
+		Scenario: name,
+		Seed:     seed,
+		Drones:   cfg.Drones,
+		Workers:  workers,
+		Results:  make([]DroneResult, cfg.Drones),
+	}
+
+	// Index-addressed fan-out: workers pull drone indices off a channel
+	// and write into their own slot, so the result order is positional
+	// regardless of which worker finishes first.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sum.Results[i] = runOne(base, seed, i)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Drones; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return sum, nil
+}
+
+// runOne builds and flies one drone's private stack.
+func runOne(base *simharness.Scenario, fleetSeed string, i int) DroneResult {
+	dr := DroneResult{Index: i, Seed: DroneSeed(fleetSeed, i)}
+	sc, err := cloneScenario(base)
+	if err != nil {
+		dr.Err = err.Error()
+		return dr
+	}
+	sc.Seed = dr.Seed
+	res, err := simharness.RunScenario(sc)
+	if err != nil {
+		dr.Err = err.Error()
+		return dr
+	}
+	dr.Ticks = res.Ticks
+	dr.Events = len(res.Events)
+	dr.Violations = len(res.Violations)
+	dr.Passed = res.Passed()
+	dr.TraceHash = hashResult(res)
+	return dr
+}

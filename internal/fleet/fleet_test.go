@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// fleetDrones picks the replay size: 4 in -short (CI smoke), 16 in full
+// runs, and whatever ANDRONE_FLEET_DRONES says for the acceptance-scale
+// 256-drone replay recorded in BENCH_scale.json.
+func fleetDrones(t *testing.T) int {
+	if env := os.Getenv("ANDRONE_FLEET_DRONES"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			t.Fatalf("ANDRONE_FLEET_DRONES=%q: want a positive integer", env)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 4
+	}
+	return 16
+}
+
+// TestFleetDeterminism is the replay proof behind the fleet engine: the
+// same fleet at -workers=1 and -workers=NumCPU must produce bit-identical
+// per-drone trace hashes. Worker count may only change wall-clock time.
+func TestFleetDeterminism(t *testing.T) {
+	drones := fleetDrones(t)
+	scenario := os.Getenv("ANDRONE_FLEET_SCENARIO")
+	if scenario == "" {
+		scenario = "survey-baseline"
+	}
+
+	parallel := runtime.NumCPU()
+	if parallel < 4 {
+		// Even a 1-CPU host must exercise real worker interleaving: with
+		// GOMAXPROCS=1 goroutines still preempt mid-run, which is exactly
+		// the reordering the determinism contract has to survive.
+		parallel = 4
+	}
+
+	serial, err := Run(Config{Drones: drones, Workers: 1, Seed: "replay-1", Scenario: scenario})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent, err := Run(Config{Drones: drones, Workers: parallel, Seed: "replay-1", Scenario: scenario})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !serial.Passed() {
+		for _, r := range serial.Results {
+			if r.Err != "" || !r.Passed {
+				t.Errorf("serial drone %d: err=%q violations=%d", r.Index, r.Err, r.Violations)
+			}
+		}
+		t.Fatalf("serial fleet of %d did not pass", drones)
+	}
+
+	sh, ch := serial.Hashes(), concurrent.Hashes()
+	if len(sh) != len(ch) {
+		t.Fatalf("result count differs: %d vs %d", len(sh), len(ch))
+	}
+	for i := range sh {
+		if sh[i] != ch[i] {
+			t.Errorf("drone %d trace hash differs: workers=1 %s vs workers=%d %s",
+				i, sh[i][:12], parallel, ch[i][:12])
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("fleet replay not deterministic across worker counts (%d drones)", drones)
+	}
+}
+
+// TestDroneSeedsDiverge proves the per-drone seed actually reaches the
+// stack: two drones of the same fleet must not share a trace hash.
+func TestDroneSeedsDiverge(t *testing.T) {
+	sum, err := Run(Config{Drones: 2, Workers: 1, Seed: "diverge-1", Scenario: "squall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Results[0].TraceHash == sum.Results[1].TraceHash {
+		t.Fatalf("drones 0 and 1 share trace hash %s — per-drone seed is not flowing", sum.Results[0].TraceHash[:12])
+	}
+	if sum.Results[0].Seed == sum.Results[1].Seed {
+		t.Fatalf("drones 0 and 1 share seed %q", sum.Results[0].Seed)
+	}
+}
+
+// TestFleetConfigErrors covers the two rejection paths.
+func TestFleetConfigErrors(t *testing.T) {
+	if _, err := Run(Config{Drones: 0}); err == nil {
+		t.Error("zero drones accepted")
+	}
+	if _, err := Run(Config{Drones: 1, Scenario: "no-such-scenario"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

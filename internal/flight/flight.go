@@ -153,6 +153,14 @@ type Controller struct {
 	// set at construction time and may be nil.
 	stepCount atomic.Uint64
 	tel       *telemetry.Recorder
+
+	// MAVLink reply scratch. HandleMessage is a serial endpoint (one
+	// in-flight message per controller, as on a real telemetry link), so
+	// the scratch is single-writer without c.mu; the returned slice and
+	// the ack it points at are valid until the next HandleMessage call.
+	// This is what keeps the accepted-command path at 0 allocs/op.
+	ackScratch   mavlink.CommandAck
+	replyScratch [1]mavlink.Message
 }
 
 // Option configures a Controller.
@@ -669,20 +677,20 @@ func (c *Controller) RecordTruth(roll, pitch, yaw float64) {
 func (c *Controller) HandleMessage(msg mavlink.Message) []mavlink.Message {
 	switch m := msg.(type) {
 	case *mavlink.CommandLong:
-		return []mavlink.Message{c.handleCommand(m)}
+		return c.handleCommand(m)
 	case *mavlink.SetMode:
 		res := uint8(mavlink.ResultAccepted)
 		if err := c.SetModeNum(m.CustomMode); err != nil {
 			res = mavlink.ResultDenied
 		}
-		return []mavlink.Message{&mavlink.CommandAck{Command: mavlink.CmdDoSetMode, Result: res}}
+		return c.ackReply(mavlink.CmdDoSetMode, res)
 	case *mavlink.SetPositionTargetGlobalInt:
 		p := geo.Position{
 			LatLon: geo.LatLon{Lat: mavlink.E7ToLatLon(m.LatE7), Lon: mavlink.E7ToLatLon(m.LonE7)},
 			Alt:    float64(m.Alt),
 		}
 		if err := c.GotoPosition(p, 0); err != nil {
-			return []mavlink.Message{&mavlink.CommandAck{Command: mavlink.MsgIDSetPositionTargetGlobal, Result: mavlink.ResultDenied}}
+			return c.ackReply(mavlink.MsgIDSetPositionTargetGlobal, mavlink.ResultDenied)
 		}
 		return nil // position targets are not acked in MAVLink
 	case *mavlink.ParamRequestList, *mavlink.ParamRequestRead, *mavlink.ParamSet:
@@ -750,11 +758,20 @@ func (c *Controller) handleMissionItem(m *mavlink.MissionItemInt) []mavlink.Mess
 	return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionAccepted}}
 }
 
-func (c *Controller) handleCommand(m *mavlink.CommandLong) mavlink.Message {
-	ack := func(res uint8) mavlink.Message {
-		return &mavlink.CommandAck{Command: m.Command, Result: res}
+// ackReply fills the reply scratch with a command ack — the allocation-free
+// reply for the hot accepted/denied command paths (see the scratch fields'
+// serial-endpoint contract).
+func (c *Controller) ackReply(cmd uint16, res uint8) []mavlink.Message {
+	c.ackScratch = mavlink.CommandAck{Command: cmd, Result: res}
+	c.replyScratch[0] = &c.ackScratch
+	return c.replyScratch[:]
+}
+
+func (c *Controller) handleCommand(m *mavlink.CommandLong) []mavlink.Message {
+	ack := func(res uint8) []mavlink.Message {
+		return c.ackReply(m.Command, res)
 	}
-	fail := func(err error) mavlink.Message {
+	fail := func(err error) []mavlink.Message {
 		if err == nil {
 			return ack(mavlink.ResultAccepted)
 		}

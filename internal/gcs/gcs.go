@@ -99,6 +99,13 @@ type Station struct {
 	seq   uint8
 	clock time.Duration // virtual elapsed time
 	stats Stats
+
+	// encScratch is the station's reusable MAVLink frame buffer. A station
+	// is a serial endpoint (one in-flight exchange per session — Command
+	// retries sequentially), so the scratch is single-writer without s.mu;
+	// Tunnel.Seal copies the frame into its envelope, so the buffer is free
+	// for reuse as soon as Seal returns.
+	encScratch []byte
 }
 
 // New creates a station talking to endpoint over the given link profile.
@@ -148,10 +155,11 @@ func (s *Station) Send(msg mavlink.Message) ([]mavlink.Message, time.Duration, e
 	s.stats.Sent++
 	s.mu.Unlock()
 
-	raw, err := mavlink.Encode(seq, mavlink.SysIDGroundStation, 1, msg)
+	raw, err := mavlink.AppendEncode(s.encScratch[:0], seq, mavlink.SysIDGroundStation, 1, msg)
 	if err != nil {
 		return nil, 0, err
 	}
+	s.encScratch = raw // keep the grown buffer for the next frame
 	sealed := s.upSend.Seal(raw)
 
 	upDelay, lost := s.uplink.Sample()
@@ -189,10 +197,11 @@ func (s *Station) Send(msg mavlink.Message) ([]mavlink.Message, time.Duration, e
 
 	out := make([]mavlink.Message, 0, len(replies))
 	for i, r := range replies {
-		rraw, err := mavlink.Encode(uint8(i), mavlink.SysIDAutopilot, 1, r)
+		rraw, err := mavlink.AppendEncode(s.encScratch[:0], uint8(i), mavlink.SysIDAutopilot, 1, r)
 		if err != nil {
 			return nil, rtt, err
 		}
+		s.encScratch = rraw
 		rplain, err := s.downRecv.Open(s.downSend.Seal(rraw))
 		if err != nil {
 			return nil, rtt, fmt.Errorf("gcs: downlink tunnel: %w", err)
@@ -253,10 +262,11 @@ func (s *Station) FetchTelemetry() ([]mavlink.Message, error) {
 		if lost {
 			continue
 		}
-		raw, err := mavlink.Encode(uint8(i), mavlink.SysIDAutopilot, 1, m)
+		raw, err := mavlink.AppendEncode(s.encScratch[:0], uint8(i), mavlink.SysIDAutopilot, 1, m)
 		if err != nil {
 			return out, err
 		}
+		s.encScratch = raw
 		plain, err := s.downRecv.Open(s.downSend.Seal(raw))
 		if err != nil {
 			return out, fmt.Errorf("gcs: telemetry tunnel: %w", err)

@@ -158,23 +158,45 @@ func x25(crc uint16, data []byte) uint16 {
 	return crc
 }
 
-// Encode serializes a message into a wire frame.
+// PayloadAppender is the allocation-free sibling of MarshalPayload:
+// messages that implement it append their wire payload into a caller-owned
+// buffer. AppendEncode uses it when available, so hot encode paths with a
+// scratch buffer (the GCS station's per-link frames, the telemetry
+// downlink) stay off the heap entirely.
+type PayloadAppender interface {
+	AppendPayload(b []byte) []byte
+}
+
+// Encode serializes a message into a freshly allocated wire frame.
 func Encode(seq, sysID, compID uint8, msg Message) ([]byte, error) {
-	payload := msg.MarshalPayload()
-	if len(payload) > maxPayload {
-		return nil, fmt.Errorf("mavlink: payload %d exceeds %d", len(payload), maxPayload)
-	}
+	return AppendEncode(nil, seq, sysID, compID, msg)
+}
+
+// AppendEncode serializes a message into a wire frame appended to dst,
+// reusing dst's capacity — the scratch-buffer form of Encode. As with
+// append, the caller must use the returned slice, not dst. On error dst is
+// returned truncated to its original length.
+func AppendEncode(dst []byte, seq, sysID, compID uint8, msg Message) ([]byte, error) {
 	extra, ok := crcExtra[msg.ID()]
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownMsg, msg.ID())
+		return dst, fmt.Errorf("%w: %d", ErrUnknownMsg, msg.ID())
 	}
-	frame := make([]byte, 0, 8+len(payload))
-	frame = append(frame, Magic, uint8(len(payload)), seq, sysID, compID, msg.ID())
-	frame = append(frame, payload...)
-	crc := x25(0xFFFF, frame[1:]) // magic excluded
+	start := len(dst)
+	dst = append(dst, Magic, 0, seq, sysID, compID, msg.ID())
+	if pa, ok := msg.(PayloadAppender); ok {
+		dst = pa.AppendPayload(dst)
+	} else {
+		dst = append(dst, msg.MarshalPayload()...)
+	}
+	plen := len(dst) - start - 6
+	if plen > maxPayload {
+		return dst[:start], fmt.Errorf("mavlink: payload %d exceeds %d", plen, maxPayload)
+	}
+	dst[start+1] = uint8(plen)
+	crc := x25(0xFFFF, dst[start+1:]) // magic excluded
 	crc = x25(crc, []byte{extra})
-	frame = binary.LittleEndian.AppendUint16(frame, crc)
-	return frame, nil
+	dst = binary.LittleEndian.AppendUint16(dst, crc)
+	return dst, nil
 }
 
 // Decoder is a resynchronizing streaming MAVLink parser.
@@ -327,14 +349,13 @@ func (h *Heartbeat) Armed() bool { return h.BaseMode&ModeFlagSafetyArmed != 0 }
 
 // MarshalPayload implements Message.
 func (h *Heartbeat) MarshalPayload() []byte {
-	b := make([]byte, 9)
-	binary.LittleEndian.PutUint32(b[0:], h.CustomMode)
-	b[4] = h.Type
-	b[5] = h.Autopilot
-	b[6] = h.BaseMode
-	b[7] = h.SystemStatus
-	b[8] = h.MavlinkVersion
-	return b
+	return h.AppendPayload(make([]byte, 0, 9))
+}
+
+// AppendPayload implements PayloadAppender.
+func (h *Heartbeat) AppendPayload(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, h.CustomMode)
+	return append(b, h.Type, h.Autopilot, h.BaseMode, h.SystemStatus, h.MavlinkVersion)
 }
 
 // UnmarshalPayload implements Message.
@@ -364,12 +385,15 @@ func (*SysStatus) ID() uint8 { return MsgIDSysStatus }
 
 // MarshalPayload implements Message.
 func (s *SysStatus) MarshalPayload() []byte {
-	b := make([]byte, 7)
-	binary.LittleEndian.PutUint16(b[0:], s.VoltageBatteryMV)
-	binary.LittleEndian.PutUint16(b[2:], uint16(s.CurrentBatterycA))
-	binary.LittleEndian.PutUint16(b[4:], s.Load)
-	b[6] = uint8(s.BatteryRemaining)
-	return b
+	return s.AppendPayload(make([]byte, 0, 7))
+}
+
+// AppendPayload implements PayloadAppender.
+func (s *SysStatus) AppendPayload(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint16(b, s.VoltageBatteryMV)
+	b = binary.LittleEndian.AppendUint16(b, uint16(s.CurrentBatterycA))
+	b = binary.LittleEndian.AppendUint16(b, s.Load)
+	return append(b, uint8(s.BatteryRemaining))
 }
 
 // UnmarshalPayload implements Message.
@@ -430,14 +454,15 @@ func (*Attitude) ID() uint8 { return MsgIDAttitude }
 
 // MarshalPayload implements Message.
 func (a *Attitude) MarshalPayload() []byte {
-	b := make([]byte, 28)
-	binary.LittleEndian.PutUint32(b[0:], a.TimeBootMs)
-	putF32(b[4:], a.Roll)
-	putF32(b[8:], a.Pitch)
-	putF32(b[12:], a.Yaw)
-	putF32(b[16:], a.RollSpeed)
-	putF32(b[20:], a.PitchSpeed)
-	putF32(b[24:], a.YawSpeed)
+	return a.AppendPayload(make([]byte, 0, 28))
+}
+
+// AppendPayload implements PayloadAppender.
+func (a *Attitude) AppendPayload(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, a.TimeBootMs)
+	for _, f := range [...]float32{a.Roll, a.Pitch, a.Yaw, a.RollSpeed, a.PitchSpeed, a.YawSpeed} {
+		b = appendF32(b, f)
+	}
 	return b
 }
 
@@ -475,17 +500,20 @@ func (*GlobalPositionInt) ID() uint8 { return MsgIDGlobalPositionInt }
 
 // MarshalPayload implements Message.
 func (g *GlobalPositionInt) MarshalPayload() []byte {
-	b := make([]byte, 28)
-	binary.LittleEndian.PutUint32(b[0:], g.TimeBootMs)
-	binary.LittleEndian.PutUint32(b[4:], uint32(g.LatE7))
-	binary.LittleEndian.PutUint32(b[8:], uint32(g.LonE7))
-	binary.LittleEndian.PutUint32(b[12:], uint32(g.AltMM))
-	binary.LittleEndian.PutUint32(b[16:], uint32(g.RelativeAltMM))
-	binary.LittleEndian.PutUint16(b[20:], uint16(g.Vx))
-	binary.LittleEndian.PutUint16(b[22:], uint16(g.Vy))
-	binary.LittleEndian.PutUint16(b[24:], uint16(g.Vz))
-	binary.LittleEndian.PutUint16(b[26:], g.HdgCdeg)
-	return b
+	return g.AppendPayload(make([]byte, 0, 28))
+}
+
+// AppendPayload implements PayloadAppender.
+func (g *GlobalPositionInt) AppendPayload(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, g.TimeBootMs)
+	b = binary.LittleEndian.AppendUint32(b, uint32(g.LatE7))
+	b = binary.LittleEndian.AppendUint32(b, uint32(g.LonE7))
+	b = binary.LittleEndian.AppendUint32(b, uint32(g.AltMM))
+	b = binary.LittleEndian.AppendUint32(b, uint32(g.RelativeAltMM))
+	b = binary.LittleEndian.AppendUint16(b, uint16(g.Vx))
+	b = binary.LittleEndian.AppendUint16(b, uint16(g.Vy))
+	b = binary.LittleEndian.AppendUint16(b, uint16(g.Vz))
+	return binary.LittleEndian.AppendUint16(b, g.HdgCdeg)
 }
 
 // UnmarshalPayload implements Message.
@@ -520,15 +548,16 @@ func (*CommandLong) ID() uint8 { return MsgIDCommandLong }
 
 // MarshalPayload implements Message.
 func (c *CommandLong) MarshalPayload() []byte {
-	b := make([]byte, 33)
-	for i, p := range []float32{c.Param1, c.Param2, c.Param3, c.Param4, c.Param5, c.Param6, c.Param7} {
-		putF32(b[i*4:], p)
+	return c.AppendPayload(make([]byte, 0, 33))
+}
+
+// AppendPayload implements PayloadAppender.
+func (c *CommandLong) AppendPayload(b []byte) []byte {
+	for _, p := range [...]float32{c.Param1, c.Param2, c.Param3, c.Param4, c.Param5, c.Param6, c.Param7} {
+		b = appendF32(b, p)
 	}
-	binary.LittleEndian.PutUint16(b[28:], c.Command)
-	b[30] = c.TargetSystem
-	b[31] = c.TargetComponent
-	b[32] = c.Confirmation
-	return b
+	b = binary.LittleEndian.AppendUint16(b, c.Command)
+	return append(b, c.TargetSystem, c.TargetComponent, c.Confirmation)
 }
 
 // UnmarshalPayload implements Message.
@@ -558,10 +587,13 @@ func (*CommandAck) ID() uint8 { return MsgIDCommandAck }
 
 // MarshalPayload implements Message.
 func (c *CommandAck) MarshalPayload() []byte {
-	b := make([]byte, 3)
-	binary.LittleEndian.PutUint16(b[0:], c.Command)
-	b[2] = c.Result
-	return b
+	return c.AppendPayload(make([]byte, 0, 3))
+}
+
+// AppendPayload implements PayloadAppender.
+func (c *CommandAck) AppendPayload(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint16(b, c.Command)
+	return append(b, c.Result)
 }
 
 // UnmarshalPayload implements Message.
@@ -662,6 +694,10 @@ func (s *StatusText) UnmarshalPayload(b []byte) error {
 
 func putF32(b []byte, f float32) {
 	binary.LittleEndian.PutUint32(b, math.Float32bits(f))
+}
+
+func appendF32(b []byte, f float32) []byte {
+	return binary.LittleEndian.AppendUint32(b, math.Float32bits(f))
 }
 
 func getF32(b []byte) float32 {

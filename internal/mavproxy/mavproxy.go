@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"androne/internal/flight"
 	"androne/internal/geo"
@@ -37,6 +38,9 @@ var (
 )
 
 // Whitelist is the set of MAVLink traffic a VFC accepts while active.
+// Once installed on a VFC (NewVFC or SetWhitelist) a template is frozen:
+// Send reads it through an atomic snapshot with no lock, so the installer
+// must not mutate the maps afterwards — build a new template and swap it.
 type Whitelist struct {
 	// Name identifies the template.
 	Name string
@@ -175,8 +179,9 @@ func (p *Proxy) NewVFC(name string, wl Whitelist, continuous bool) (*VFC, error)
 	if _, ok := p.vfcs[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrVFCExists, name)
 	}
-	v := &VFC{proxy: p, name: name, key: key, tel: p.tel, wl: wl, continuous: continuous, state: VFCIdle,
+	v := &VFC{proxy: p, name: name, key: key, tel: p.tel, continuous: continuous, state: VFCIdle,
 		sends: mSends.Local()}
+	v.wl.Store(&wl)
 	p.vfcs[name] = v
 	return v, nil
 }
@@ -194,15 +199,15 @@ func (p *Proxy) RemoveVFC(name string) {
 // upgrading or downgrading a customer's control level mid-service (the
 // paper's templates range from guided-only up to full control). The new
 // template applies to the next message; in-flight state (waypoint, fence,
-// breach recovery) is untouched.
+// breach recovery) is untouched. The swap is an atomic pointer store, so
+// concurrent Sends read either the old template or the new one in full;
+// the caller must not mutate wl's maps after this call.
 func (p *Proxy) SetWhitelist(name string, wl Whitelist) error {
 	v, err := p.VFCByName(name)
 	if err != nil {
 		return err
 	}
-	v.mu.Lock()
-	v.wl = wl
-	v.mu.Unlock()
+	v.wl.Store(&wl)
 	v.tel.Emit(v.key, kWhitelistSwap, 0, 0, wl.Name)
 	return nil
 }
@@ -391,8 +396,13 @@ type VFC struct {
 	key   telemetry.Key       // interned name, cached for zero-cost emission
 	tel   *telemetry.Recorder // copied from the proxy at construction; may be nil
 
+	// wl is the whitelist template, published atomically: the Send hot
+	// path loads it with no lock, SetWhitelist swaps in a frozen copy
+	// (never mutated after installation — the COW discipline locksafe
+	// enforces).
+	wl atomic.Pointer[Whitelist]
+
 	mu           sync.Mutex
-	wl           Whitelist
 	state        VFCState
 	waypoint     geo.Waypoint
 	fence        geo.Fence
@@ -408,6 +418,13 @@ type VFC struct {
 	// a plain increment there avoids an atomic fence per message. Tick
 	// flushes the batch.
 	sends *telemetry.LocalCount
+
+	// Denial reply scratch. A VFC is a serial MAVLink endpoint — one
+	// in-flight Send per connection, as on a real telemetry link — so the
+	// scratch is single-writer without v.mu; the returned slice and the
+	// ack it points at are valid until the next Send on this VFC.
+	ackScratch   mavlink.CommandAck
+	replyScratch [1]mavlink.Message
 }
 
 // Name returns the VFC's virtual drone name.
@@ -433,12 +450,15 @@ func (v *VFC) pushEvent(m mavlink.Message) {
 	v.events = append(v.events, m)
 }
 
-// deny counts and traces a refusal, then synthesizes the denial ack. It
-// runs with no VFC lock held.
+// deny counts and traces a refusal, then synthesizes the denial ack into
+// the VFC's reply scratch (allocation-free; see the scratch field's serial
+// endpoint contract). It runs with no VFC lock held.
 func (v *VFC) deny(msg mavlink.Message, result uint8, reason string) []mavlink.Message {
 	mRejects.Inc()
 	v.tel.Emit(v.key, kReject, int64(msg.ID()), cmdOf(msg), reason)
-	return deny(msg, result)
+	v.ackScratch = mavlink.CommandAck{Command: denyCmd(msg), Result: result}
+	v.replyScratch[0] = &v.ackScratch
+	return v.replyScratch[:]
 }
 
 // cmdOf extracts the MAV_CMD number when the message carries one.
@@ -449,17 +469,17 @@ func cmdOf(msg mavlink.Message) int64 {
 	return 0
 }
 
-// deny synthesizes a denial ack for a message.
-func deny(msg mavlink.Message, result uint8) []mavlink.Message {
+// denyCmd is the command number a denial ack reports for a message.
+func denyCmd(msg mavlink.Message) uint16 {
 	switch m := msg.(type) {
 	case *mavlink.CommandLong:
-		return []mavlink.Message{&mavlink.CommandAck{Command: m.Command, Result: result}}
+		return m.Command
 	case *mavlink.SetMode:
-		return []mavlink.Message{&mavlink.CommandAck{Command: mavlink.CmdDoSetMode, Result: result}}
+		return mavlink.CmdDoSetMode
 	case *mavlink.SetPositionTargetGlobalInt:
-		return []mavlink.Message{&mavlink.CommandAck{Command: mavlink.MsgIDSetPositionTargetGlobal, Result: result}}
+		return mavlink.MsgIDSetPositionTargetGlobal
 	}
-	return []mavlink.Message{&mavlink.CommandAck{Result: result}}
+	return 0
 }
 
 // Send processes a message from the virtual drone. Until the waypoint is
@@ -470,11 +490,11 @@ func (v *VFC) Send(msg mavlink.Message) []mavlink.Message {
 	if _, isHB := msg.(*mavlink.Heartbeat); isHB {
 		return nil // heartbeats are always accepted silently
 	}
+	wl := v.wl.Load() // atomic snapshot; SetWhitelist swaps concurrently
 	v.mu.Lock()
 	state := v.state
 	disabled := v.cmdsDisabled
 	fence := v.fence
-	wl := v.wl
 	v.sends.Inc() // sharded under v.mu; Tick flushes
 	v.mu.Unlock()
 	if state != VFCActive {

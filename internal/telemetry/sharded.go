@@ -1,0 +1,63 @@
+// ShardedCount: the lock-free sibling of LocalCount. LocalCount batches
+// increments under the owner's mutex, which is perfect while the hot path
+// holds that mutex anyway — but useless once the hot path stops taking the
+// lock at all (the fleet's de-contended binder Transact). A single shared
+// atomic counter would reintroduce the contention the lock removal bought
+// back: every core bouncing one cache line. ShardedCount spreads the
+// increments across cache-line-padded atomic cells selected by a caller
+// hint (a PID, a goroutine-stable index), so parallel writers touch
+// disjoint lines; Flush folds the cells into the parent Counter.
+
+package telemetry
+
+import "sync/atomic"
+
+// countShards is the number of padded cells. Power of two so the hint can
+// be masked; 16 covers the core counts the fleet targets without wasting
+// a page per counter.
+const countShards = 16
+
+// paddedCell is an atomic counter padded out to a 64-byte cache line so
+// neighbouring cells never false-share.
+type paddedCell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// ShardedCount is a concurrency-safe sharded extension of a Counter for
+// lock-free hot paths. Unlike LocalCount it pays one atomic add per Inc
+// (there is no mutex to hide behind), but writers with different hints
+// never contend on a cache line, so throughput scales with cores instead
+// of collapsing onto one line. The parent's Value lags the truth by the
+// unfolded cell contents between flushes — call Flush from a cold periodic
+// path to bound the staleness, exactly as with LocalCount.
+type ShardedCount struct {
+	c      *Counter
+	shards [countShards]paddedCell
+}
+
+// Sharded returns a new sharded extension of c.
+func (c *Counter) Sharded() *ShardedCount { return &ShardedCount{c: c} }
+
+// Inc adds one to the cell selected by hint. Safe for any number of
+// concurrent callers; callers that pass a stable, distinct hint (their
+// PID, worker index) get a private cache line.
+func (s *ShardedCount) Inc(hint int) {
+	if !enabled.Load() {
+		return
+	}
+	s.shards[uint(hint)&(countShards-1)].v.Add(1)
+}
+
+// Flush folds every cell into the parent counter. Safe concurrently with
+// Inc (each cell is drained with an atomic swap); increments landing
+// during the sweep are picked up by the next flush.
+func (s *ShardedCount) Flush() {
+	var total uint64
+	for i := range s.shards {
+		total += s.shards[i].v.Swap(0)
+	}
+	if total > 0 {
+		s.c.ints.Add(total)
+	}
+}
