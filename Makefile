@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet androne-vet vet-ip sim telemetry fleet scale-smoke fuzz cover check clean
+.PHONY: all build test race vet androne-vet vet-ip vet-effects vet-smoke sim telemetry fleet scale-smoke fuzz cover check clean
 
 all: build
 
@@ -24,10 +24,27 @@ vet: androne-vet
 
 # The androne-specific static-analysis suite: lock discipline, binder
 # namespace isolation, VFC whitelist boundary, service-plane deadlines,
-# timer hygiene, plus the interprocedural security analyzers. See DESIGN.md
+# timer hygiene, the interprocedural security analyzers, and the
+# effect-summary contract analyzers (detguard, hotpath). See DESIGN.md
 # "Static analysis & concurrency invariants".
 androne-vet:
 	$(GO) run ./cmd/androne-vet ./...
+
+# The effect-summary contract subset alone: determinism of //vet:detpath
+# call trees (detguard) and allocation/lock freedom of //vet:hotpath call
+# trees (hotpath). See DESIGN.md "Effect summaries & contract analyzers".
+vet-effects:
+	$(GO) run ./cmd/androne-vet -ctxtimeout=false -errflow=false \
+		-locksafe=false -nsguard=false -permguard=false -sendertaint=false \
+		-tickleak=false -whitelistguard=false ./...
+
+# Sabotage smoke for the contract analyzers: the fixture suites carry
+# deliberately broken packages whose expected findings ("// want"
+# comments) must all be produced — an analyzer that goes blind fails the
+# test rather than silently passing the repo.
+vet-smoke:
+	$(GO) test -count=1 -run 'TestDetGuard|TestHotPath' \
+		./internal/analysis/detguard ./internal/analysis/hotpath
 
 # The interprocedural subset alone (whole-program call graph + dataflow):
 # permission-dominance (permguard), sender-identity taint (sendertaint),

@@ -3,10 +3,12 @@
 // the flight hot paths (locksafe), Binder namespace isolation (nsguard),
 // the VFC MAVLink whitelist boundary (whitelistguard), deadlines and
 // cancellation in the service plane (ctxtimeout), timer hygiene in
-// high-rate loops (tickleak), and the interprocedural security suite —
+// high-rate loops (tickleak), the interprocedural security suite —
 // permission checks dominating every hardware path (permguard), sender
 // identity taint (sendertaint), and security-relevant error propagation
-// (errflow).
+// (errflow) — and the effect-summary contract analyzers: determinism on
+// the trace/hash paths (detguard) and zero-allocation, bounded-blocking
+// hot paths (hotpath).
 //
 // Usage:
 //
@@ -24,8 +26,10 @@ import (
 	"os"
 
 	"androne/internal/analysis/ctxtimeout"
+	"androne/internal/analysis/detguard"
 	"androne/internal/analysis/errflow"
 	"androne/internal/analysis/framework"
+	"androne/internal/analysis/hotpath"
 	"androne/internal/analysis/load"
 	"androne/internal/analysis/locksafe"
 	"androne/internal/analysis/nsguard"
@@ -38,7 +42,9 @@ import (
 // suite is every analyzer the driver knows, in report order.
 var suite = []*framework.Analyzer{
 	ctxtimeout.Analyzer,
+	detguard.Analyzer,
 	errflow.Analyzer,
+	hotpath.Analyzer,
 	locksafe.Analyzer,
 	nsguard.Analyzer,
 	permguard.Analyzer,
@@ -85,7 +91,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "androne-vet:", err)
 		return 2
 	}
-	findings, suppressed, err := load.Run(pkgs, active)
+	findings, stats, err := load.Run(pkgs, active)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "androne-vet:", err)
 		return 2
@@ -96,7 +102,7 @@ func run() int {
 		for i, a := range active {
 			names[i] = a.Name
 		}
-		if err := load.WriteJSON(os.Stdout, load.Report(names, findings, suppressed)); err != nil {
+		if err := load.WriteJSON(os.Stdout, load.Report(names, findings, stats)); err != nil {
 			fmt.Fprintln(os.Stderr, "androne-vet:", err)
 			return 2
 		}

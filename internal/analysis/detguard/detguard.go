@@ -1,0 +1,103 @@
+// Package detguard statically enforces the determinism contract on the
+// call paths that feed trace rendering, result hashing, and violation
+// reporting. PR 5 made the contract load-bearing — the same fleet run
+// serially and across a worker pool must yield bit-identical per-drone
+// trace hashes — but until now only the replay tests enforced it. Functions
+// annotated with a
+//
+//	//vet:detpath <reason>
+//
+// doc-comment directive are determinism roots (the fleet's per-drone run
+// and hash functions, the scenario runner, the flight-recorder dump and
+// decode paths): the root and everything it transitively calls must be
+// free of nondeterministic effects — map iteration whose order reaches
+// output, wall-clock reads, draws from math/rand's global source,
+// scheduler-state reads (runtime.NumCPU, GOMAXPROCS), and multi-case
+// selects whose winner is scheduler-dependent.
+//
+// Unlike hotpath, detguard follows interface call edges: a trace renders
+// identically only if every implementer behind the seam is deterministic.
+// Allocation and blocking are fine here — dumps are cold paths.
+//
+// The engine's range-then-sort laundering rule keeps the repo's standard
+// idiom (collect map keys, sort, iterate) clean without annotations.
+// Reviewed exceptions — a 1-in-N latency sample whose wall-clock read feeds
+// a histogram, never a trace — carry //vet:allow detguard with a reason;
+// false summaries are corrected with //vet:summary, whose declared bitset
+// is still enforced so an override cannot launder real nondeterminism.
+package detguard
+
+import (
+	"go/types"
+
+	"androne/internal/analysis/framework"
+)
+
+// Analyzer is the detguard analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "detguard",
+	Doc: "//vet:detpath-annotated functions and everything they transitively " +
+		"call (interface implementers included) must be free of " +
+		"nondeterministic effects: unordered map ranges, wall-clock reads, " +
+		"global math/rand, scheduler-state reads, multi-case selects",
+	Run: run,
+}
+
+// RootDirective marks a determinism contract root in a function's doc
+// comment.
+const RootDirective = "//vet:detpath"
+
+// forbidden is the effect mask detguard convicts.
+const forbidden = framework.EffRangesMap |
+	framework.EffReadsClock |
+	framework.EffReadsGlobalRand |
+	framework.EffReadsSchedulerState |
+	framework.EffSelectsUnordered
+
+// closure computes, once per Program, the deterministic closure: every
+// function reachable from a //vet:detpath root over static AND interface
+// edges, mapped to the first root that reaches it.
+func closure(prog *framework.Program) map[*types.Func]*types.Func {
+	return prog.Memo("detguard.closure", func() any {
+		return framework.EffectClosure(prog, RootDirective, true)
+	}).(map[*types.Func]*types.Func)
+}
+
+func run(pass *framework.Pass) error {
+	prog := pass.Program
+	if prog == nil {
+		return nil
+	}
+	world := prog.Effects()
+	reached := closure(prog)
+
+	for _, src := range prog.Funcs() {
+		if src.Pkg.Pkg != pass.Pkg {
+			continue
+		}
+		root, ok := reached[src.Fn]
+		if !ok {
+			continue
+		}
+		s := world.Summary(src.Fn)
+		if s == nil {
+			continue
+		}
+		from := framework.FuncLabel(root)
+		if s.Overridden {
+			if declared := s.Total & forbidden; declared != 0 {
+				pass.Reportf(src.Decl.Pos(),
+					"nondeterminism on deterministic path from %s: //vet:summary declares %s",
+					from, declared)
+			}
+			continue
+		}
+		for _, site := range s.Sites {
+			if site.Effect&forbidden == 0 {
+				continue
+			}
+			pass.Reportf(site.Pos, "nondeterminism on deterministic path from %s: %s", from, site.Detail)
+		}
+	}
+	return nil
+}

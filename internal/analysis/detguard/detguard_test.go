@@ -1,0 +1,19 @@
+package detguard_test
+
+import (
+	"testing"
+
+	"androne/internal/analysis/analysistest"
+	"androne/internal/analysis/detguard"
+)
+
+// TestDetGuard covers both directions: the clean fleet fixture (sorted map
+// ranges, caller-seeded rand) must stay silent, and every sabotaged site in
+// detbad must be convicted (an unmatched want fails the test, so this
+// doubles as the sabotage smoke assertion CI runs).
+func TestDetGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", detguard.Analyzer,
+		"androne/internal/fleet",
+		"detbad",
+	)
+}

@@ -1,0 +1,48 @@
+// Package fleet is a fixture standing in for the real fleet runner: the
+// detguard roots mirror the production //vet:detpath annotations (the
+// per-drone run and the result hasher) and exercise the clean idioms the
+// analyzer must accept — range-then-sort key collection and caller-seeded
+// *rand.Rand draws.
+package fleet
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Result is one drone's run outcome.
+type Result struct {
+	Name   string
+	Events map[string]int
+}
+
+// hashResult folds a result into a replay-stable digest: map keys are
+// sorted before iteration and the jitter source is caller-seeded, so the
+// path is deterministic end to end.
+//
+//vet:detpath per-drone digests must be bit-identical at any worker count
+func hashResult(res Result, r *rand.Rand) uint64 {
+	keys := make([]string, 0, len(res.Events))
+	for k := range res.Events {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var h uint64 = 1469598103934665603
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h = (h ^ uint64(k[i])) * 1099511628211
+		}
+		h = (h ^ uint64(res.Events[k])) * 1099511628211
+	}
+	h ^= uint64(r.Intn(1)) // seeded draw: deterministic under the run seed
+	return h
+}
+
+// runOne drives one drone and hashes its trace.
+//
+//vet:detpath one drone's run must replay identically
+func runOne(name string, seed int64) uint64 {
+	r := rand.New(rand.NewSource(seed))
+	res := Result{Name: name, Events: map[string]int{"tick": int(seed)}}
+	return hashResult(res, r)
+}

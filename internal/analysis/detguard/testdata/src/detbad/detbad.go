@@ -1,0 +1,95 @@
+// Package detbad exercises the detguard analyzer: every nondeterministic
+// effect class on an annotated deterministic path (directly and
+// transitively), interface implementers behind a seam (followed, unlike
+// hotpath), the //vet:summary override in both directions, the laundered
+// range-then-sort idiom (accepted), and the reviewed //vet:allow path.
+package detbad
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+)
+
+//vet:detpath fixture trace-rendering path
+func render(m map[string]int, ch chan int) int {
+	total := 0
+	for _, v := range m { // want `nondeterminism on deterministic path from render: range over map\[string\]int`
+		total += v
+	}
+	total += stamp()
+	total += workers()
+	total += draw()
+	select { // want `nondeterminism on deterministic path from render: select with 2 cases`
+	case v := <-ch:
+		total += v
+	default:
+	}
+	return total
+}
+
+// stamp is convicted transitively: it is only on the path because render
+// calls it.
+func stamp() int {
+	return time.Now().Nanosecond() // want `nondeterminism on deterministic path from render: call to time.Now`
+}
+
+func workers() int {
+	return runtime.NumCPU() // want `nondeterminism on deterministic path from render: call to runtime.NumCPU`
+}
+
+func draw() int {
+	return rand.Intn(6) // want `nondeterminism on deterministic path from render: call to math/rand.Intn`
+}
+
+// Source is a seam detguard crosses: a trace renders identically only if
+// every implementer is deterministic.
+type Source interface{ Value() int }
+
+// Clock hides a wall-clock read behind the interface.
+type Clock struct{}
+
+func (Clock) Value() int {
+	return time.Now().Nanosecond() // want `nondeterminism on deterministic path from pull: call to time.Now`
+}
+
+//vet:detpath fixture root: interface implementers are followed
+func pull(s Source) int { return s.Value() }
+
+// sortedKeys is the repo's standard laundering idiom: the map range feeds
+// a sort, so iteration order never reaches the output.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+//vet:detpath fixture root: laundered ranges are deterministic
+func renderSorted(m map[string]int) []string { return sortedKeys(m) }
+
+// trusted's computed summary would say ReadsClock, but the override is
+// trusted and the analyzer does not descend.
+//
+//vet:summary effects=none reads a cached, tick-frozen time
+func trusted() int { return time.Now().Nanosecond() }
+
+// confessed declares the nondeterminism it hides, so the declaration is
+// convicted — an override cannot launder a real effect.
+//
+//vet:summary effects=ReadsGlobalRand draws jitter from the global source
+func confessed() int { return 0 } // want `nondeterminism on deterministic path from uses: //vet:summary declares ReadsGlobalRand`
+
+//vet:detpath fixture root: overrides in both directions
+func uses() int { return trusted() + confessed() }
+
+//vet:detpath fixture root: reviewed exceptions stay suppressed
+func sampled() int {
+	return time.Now().Nanosecond() //vet:allow detguard 1-in-64 latency sample feeds a histogram, never a trace
+}
+
+// offPath is not reachable from any root: wall-clock reads are fine here.
+func offPath() int { return time.Now().Nanosecond() }

@@ -1,0 +1,470 @@
+package framework_test
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"androne/internal/analysis/framework"
+)
+
+// loadSrcStd is loadSrc with standard-library imports resolved through the
+// go tool's build cache — for effect-engine tests that exercise the leaf
+// table (time, sync, math/rand, ...).
+func loadSrcStd(t *testing.T, fset *token.FileSet, path string, files ...string) *framework.ProgramPackage {
+	t.Helper()
+	var asts []*ast.File
+	for i, src := range files {
+		f, err := parser.ParseFile(fset, fmt.Sprintf("%s/file%d.go", path, i), src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		var out, stderr bytes.Buffer
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Stdout = &out
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+		}
+		export := strings.TrimSpace(out.String())
+		if export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(export)
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := cfg.Check(path, fset, asts, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &framework.ProgramPackage{Path: path, Pkg: pkg, Files: asts, Info: info}
+}
+
+func summaryOf(t *testing.T, w *framework.EffectWorld, pp *framework.ProgramPackage, name string) *framework.Summary {
+	t.Helper()
+	obj := pp.Pkg.Scope().Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("no func %s in %s", name, pp.Path)
+	}
+	s := w.Summary(fn)
+	if s == nil {
+		t.Fatalf("no summary for %s", name)
+	}
+	return s
+}
+
+func TestEffectStringAndParse(t *testing.T) {
+	cases := []struct {
+		eff  framework.Effect
+		want string
+	}{
+		{0, "none"},
+		{framework.EffAllocates, "Allocates"},
+		{framework.EffAllocates | framework.EffRangesMap, "Allocates|RangesMap"},
+		{framework.EffReadsClock | framework.EffBlocksOnLock, "ReadsClock|BlocksOnLock"},
+	}
+	for _, c := range cases {
+		if got := c.eff.String(); got != c.want {
+			t.Errorf("String(%#x) = %q, want %q", uint16(c.eff), got, c.want)
+		}
+	}
+	if eff, err := framework.ParseEffects("Allocates,ReadsGlobalRand"); err != nil ||
+		eff != framework.EffAllocates|framework.EffReadsGlobalRand {
+		t.Errorf("ParseEffects = %v, %v", eff, err)
+	}
+	if eff, err := framework.ParseEffects("none"); err != nil || eff != 0 {
+		t.Errorf("ParseEffects(none) = %v, %v", eff, err)
+	}
+	if _, err := framework.ParseEffects("Allocates,Bogus"); err == nil {
+		t.Error("ParseEffects accepted unknown effect")
+	}
+}
+
+func TestLocalEffectExtraction(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrc(t, fset, "local", `package local
+
+func allocs(m map[int]int, b []byte) string {
+	_ = make([]int, 4)
+	_ = new(int)
+	_ = map[string]int{}
+	_ = []int{1, 2}
+	type box struct{ v int }
+	_ = &box{v: 1}
+	s := string(b)
+	s = s + "x"
+	return s
+}
+
+func ranges(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func spawns(ch chan int) {
+	go func() { ch <- 1 }()
+	<-ch
+	select {
+	case <-ch:
+	case ch <- 2:
+	}
+}
+
+func clean(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	xs = append(xs, total)
+	return len(xs)
+}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.Effects()
+
+	if s := summaryOf(t, w, pp, "allocs"); s.Local != framework.EffAllocates {
+		t.Errorf("allocs Local = %v, want Allocates", s.Local)
+	} else if len(s.Sites) < 7 {
+		t.Errorf("allocs has %d sites, want >= 7 (make, new, map lit, slice lit, &lit, conversion, concat)", len(s.Sites))
+	}
+	if s := summaryOf(t, w, pp, "ranges"); s.Local != framework.EffRangesMap {
+		t.Errorf("ranges Local = %v, want RangesMap", s.Local)
+	}
+	s := summaryOf(t, w, pp, "spawns")
+	want := framework.EffSpawnsGoroutine | framework.EffAllocates | framework.EffBlocksOnLock | framework.EffSelectsUnordered
+	if s.Local != want {
+		t.Errorf("spawns Local = %v, want %v", s.Local, want)
+	}
+	// Ranging a slice and appending are not effects: the hot paths append
+	// into preallocated scratch, and AllocsPerRun pins check that claim.
+	if s := summaryOf(t, w, pp, "clean"); s.Local != 0 {
+		t.Errorf("clean Local = %v, want none", s.Local)
+	}
+}
+
+func TestSortLaunderingSuppressesMapRange(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrcStd(t, fset, "launder", `package launder
+
+import "sort"
+
+func sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.Effects()
+	if s := summaryOf(t, w, pp, "sorted"); s.Local&framework.EffRangesMap != 0 {
+		t.Errorf("sorted flagged RangesMap despite sort call: %v", s.Local)
+	}
+	if s := summaryOf(t, w, pp, "unsorted"); s.Local&framework.EffRangesMap == 0 {
+		t.Errorf("unsorted Local = %v, want RangesMap", s.Local)
+	}
+}
+
+func TestFixpointMutualRecursion(t *testing.T) {
+	fset := token.NewFileSet()
+	// ping and pong call each other; the allocation lives three hops down.
+	// The fixpoint must converge with both Totals carrying Allocates.
+	pp := loadSrc(t, fset, "mutual", `package mutual
+
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) {
+	if n > 0 {
+		ping(n - 1)
+	}
+	leaf()
+}
+
+func leaf() {
+	_ = make([]int, 1)
+}
+
+func outside() {}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.Effects()
+	for _, name := range []string{"ping", "pong", "leaf"} {
+		if s := summaryOf(t, w, pp, name); !s.Total.Has(framework.EffAllocates) {
+			t.Errorf("%s Total = %v, want Allocates", name, s.Total)
+		}
+	}
+	if s := summaryOf(t, w, pp, "ping"); s.Local != 0 {
+		t.Errorf("ping Local = %v, want none (effect is transitive)", s.Local)
+	}
+	if s := summaryOf(t, w, pp, "outside"); s.Total != 0 {
+		t.Errorf("outside Total = %v, want none", s.Total)
+	}
+	if w.Stats().Passes < 2 || w.Stats().Passes > 10 {
+		t.Errorf("fixpoint took %d passes, want small and > 1", w.Stats().Passes)
+	}
+}
+
+func TestSummaryOverrides(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrc(t, fset, "override", `package override
+
+//vet:summary effects=none verified allocation-free by inspection
+func trusted() {
+	_ = make([]int, 1024)
+}
+
+//vet:summary effects=BlocksOnLock wraps a futex syscall
+func declared() {}
+
+//vet:summary wrong syntax here
+func malformed() {}
+
+func caller() {
+	trusted()
+	declared()
+}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.Effects()
+
+	s := summaryOf(t, w, pp, "trusted")
+	if !s.Overridden || s.Total != 0 || len(s.Sites) != 0 {
+		t.Errorf("trusted = {Overridden:%v Total:%v Sites:%d}, want override to none", s.Overridden, s.Total, len(s.Sites))
+	}
+	if s := summaryOf(t, w, pp, "declared"); !s.Overridden || s.Total != framework.EffBlocksOnLock {
+		t.Errorf("declared Total = %v, want BlocksOnLock", s.Total)
+	}
+	// The caller inherits declared effects but not the body trusted() hides.
+	if s := summaryOf(t, w, pp, "caller"); s.Total != framework.EffBlocksOnLock {
+		t.Errorf("caller Total = %v, want BlocksOnLock only", s.Total)
+	}
+	if len(w.BadDirectives) != 1 || !strings.Contains(w.BadDirectives[0].Detail, "malformed //vet:summary") {
+		t.Errorf("BadDirectives = %+v, want one malformed entry", w.BadDirectives)
+	}
+	if w.Stats().Overrides != 2 {
+		t.Errorf("Overrides = %d, want 2", w.Stats().Overrides)
+	}
+}
+
+func TestInterfaceFanOutBounding(t *testing.T) {
+	src := `package bound
+
+type Dev interface{ Op() }
+
+type A struct{}
+func (A) Op() { _ = make([]int, 1) }
+type B struct{}
+func (B) Op() {}
+type C struct{}
+func (C) Op() {}
+
+func drive(d Dev) { d.Op() }
+`
+	build := func(maxFan int) (*framework.EffectWorld, *framework.ProgramPackage) {
+		fs := token.NewFileSet()
+		pp := loadSrc(t, fs, "bound", src)
+		prog := framework.NewProgram(fs, []*framework.ProgramPackage{pp})
+		return framework.ComputeEffects(prog, framework.EffectConfig{MaxInterfaceFanOut: maxFan}), pp
+	}
+
+	// Wide enough bound: the interface call fans out and A's allocation
+	// propagates into drive.
+	w, pp := build(16)
+	if s := summaryOf(t, w, pp, "drive"); !s.Total.Has(framework.EffAllocates) {
+		t.Errorf("unbounded drive Total = %v, want Allocates via fan-out", s.Total)
+	} else if len(s.IfaceCallees) != 3 {
+		t.Errorf("unbounded drive IfaceCallees = %d, want 3", len(s.IfaceCallees))
+	}
+	if w.Stats().BoundedCalls != 0 {
+		t.Errorf("unbounded BoundedCalls = %d, want 0", w.Stats().BoundedCalls)
+	}
+
+	// Bound below the implementer count: the site is dropped (optimistic)
+	// and counted in the stats.
+	w, pp = build(2)
+	if s := summaryOf(t, w, pp, "drive"); s.Total != 0 || len(s.IfaceCallees) != 0 {
+		t.Errorf("bounded drive = {Total:%v IfaceCallees:%d}, want dropped site", s.Total, len(s.IfaceCallees))
+	}
+	if w.Stats().BoundedCalls != 1 {
+		t.Errorf("bounded BoundedCalls = %d, want 1", w.Stats().BoundedCalls)
+	}
+}
+
+func TestEffectPropagationThroughFunclitsDeferGo(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrc(t, fset, "prop", `package prop
+
+func alloc() { _ = make([]int, 1) }
+
+func viaFunclit() {
+	f := func() { alloc() }
+	f()
+}
+
+func viaDefer() {
+	defer alloc()
+}
+
+func viaGo() {
+	go alloc()
+}
+
+func viaDeferLit(m map[int]int) {
+	defer func() {
+		for range m {
+		}
+	}()
+}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.Effects()
+
+	// Calls inside func literals are attributed to the enclosing declared
+	// function; defer and go arguments are ordinary call edges.
+	for _, name := range []string{"viaFunclit", "viaDefer", "viaGo"} {
+		if s := summaryOf(t, w, pp, name); !s.Total.Has(framework.EffAllocates) {
+			t.Errorf("%s Total = %v, want Allocates", name, s.Total)
+		}
+	}
+	if s := summaryOf(t, w, pp, "viaGo"); !s.Total.Has(framework.EffSpawnsGoroutine) {
+		t.Errorf("viaGo Total = %v, want SpawnsGoroutine", s.Total)
+	}
+	if s := summaryOf(t, w, pp, "viaDeferLit"); !s.Total.Has(framework.EffRangesMap) {
+		t.Errorf("viaDeferLit Total = %v, want RangesMap from deferred literal body", s.Total)
+	}
+}
+
+func TestLeafTableAndLockDetail(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrcStd(t, fset, "leaf", `package leaf
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *Guarded) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func clocky() time.Time { return time.Now() }
+
+func sched() int { return runtime.NumCPU() }
+
+func globalRand() int { return rand.Intn(6) }
+
+func seededRand(r *rand.Rand) int { return r.Intn(6) }
+
+func wrapped(err error) error { return fmt.Errorf("leaf: %w", err) }
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.Effects()
+
+	cases := []struct {
+		fn   string
+		want framework.Effect
+	}{
+		{"clocky", framework.EffReadsClock},
+		{"sched", framework.EffReadsSchedulerState},
+		{"globalRand", framework.EffReadsGlobalRand},
+		{"seededRand", 0}, // *rand.Rand methods are caller-seeded: deterministic
+		{"wrapped", framework.EffAllocates},
+	}
+	for _, c := range cases {
+		if s := summaryOf(t, w, pp, c.fn); s.Total != c.want {
+			t.Errorf("%s Total = %v, want %v", c.fn, s.Total, c.want)
+		}
+	}
+
+	// The lock site carries the owner-type identity the hotpath analyzer
+	// checks against its sanctioned-lock list.
+	obj := pp.Pkg.Scope().Lookup("Guarded").(*types.TypeName)
+	bump, _, _ := types.LookupFieldOrMethod(types.NewPointer(obj.Type()), true, pp.Pkg, "bump")
+	s := w.Summary(bump.(*types.Func))
+	if s == nil || !s.Total.Has(framework.EffBlocksOnLock) {
+		t.Fatalf("bump summary = %+v, want BlocksOnLock", s)
+	}
+	found := false
+	for _, site := range s.Sites {
+		if site.Detail == "lock leaf.Guarded.mu" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bump sites = %+v, want one with detail %q", s.Sites, "lock leaf.Guarded.mu")
+	}
+	if w.Stats().LeafCalls == 0 {
+		t.Error("Stats.LeafCalls = 0, want > 0")
+	}
+	// Unknown out-of-Program callees (mu.Unlock, r.Intn, ...) are counted.
+	if w.Stats().UnknownCallees == 0 {
+		t.Error("Stats.UnknownCallees = 0, want > 0")
+	}
+}
+
+func TestEffectsMemoized(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrc(t, fset, "memo", `package memo
+
+func f() {}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	if _, ok := prog.EffectsIfComputed(); ok {
+		t.Fatal("EffectsIfComputed reported a world before any computation")
+	}
+	w1 := prog.Effects()
+	w2 := prog.Effects()
+	if w1 != w2 {
+		t.Error("Effects() computed twice, want memoized")
+	}
+	if peek, ok := prog.EffectsIfComputed(); !ok || peek != w1 {
+		t.Error("EffectsIfComputed did not return the memoized world")
+	}
+}

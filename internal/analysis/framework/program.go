@@ -47,7 +47,8 @@ type Program struct {
 	memos map[string]any
 	graph *CallGraph
 	funcs map[*types.Func]*FuncSource
-	order []*FuncSource // declaration order, for deterministic iteration
+	byKey map[string]*FuncSource // funcKey -> declaration, for export-data aliases
+	order []*FuncSource          // declaration order, for deterministic iteration
 }
 
 type factKey struct {
@@ -71,6 +72,7 @@ func (p *Program) indexFuncs() {
 		return
 	}
 	p.funcs = make(map[*types.Func]*FuncSource)
+	p.byKey = make(map[string]*FuncSource)
 	for _, pkg := range p.Packages {
 		for _, f := range pkg.Files {
 			for _, d := range f.Decls {
@@ -84,6 +86,7 @@ func (p *Program) indexFuncs() {
 				}
 				src := &FuncSource{Fn: fn, Decl: fd, Pkg: pkg}
 				p.funcs[fn] = src
+				p.byKey[funcKey(fn)] = src
 				p.order = append(p.order, src)
 			}
 		}
@@ -97,6 +100,24 @@ func (p *Program) Source(fn *types.Func) *FuncSource {
 	defer p.mu.Unlock()
 	p.indexFuncs()
 	return p.funcs[fn]
+}
+
+// CanonicalSource resolves fn to its in-Program declaration, matching by
+// object identity first and falling back to the package-path-qualified
+// function key. The fallback matters under the vet driver: each package is
+// type-checked against compiled export data, so a cross-package callee's
+// *types.Func is a distinct object from the declaring package's own even
+// though both name the same function. Interprocedural engines must
+// canonicalize through this method before comparing or indexing by
+// function identity.
+func (p *Program) CanonicalSource(fn *types.Func) *FuncSource {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.indexFuncs()
+	if src, ok := p.funcs[fn]; ok {
+		return src
+	}
+	return p.byKey[funcKey(fn)]
 }
 
 // Funcs returns every declared function in the Program in declaration
@@ -149,6 +170,16 @@ func (p *Program) ImportFact(obj types.Object, f Fact) bool {
 // name). compute runs without the Program lock held, so it may itself use
 // the Program; concurrent first calls under the same key may both compute,
 // with one result kept.
+// PeekMemo returns the value previously memoized under key without
+// computing anything — for report paths that surface a cache's stats only
+// when some analyzer actually populated it.
+func (p *Program) PeekMemo(key string) (any, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.memos[key]
+	return v, ok
+}
+
 func (p *Program) Memo(key string, compute func() any) any {
 	p.mu.Lock()
 	v, ok := p.memos[key]

@@ -1,0 +1,19 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"androne/internal/analysis/analysistest"
+	"androne/internal/analysis/hotpath"
+)
+
+// TestHotPath covers both directions: the sanctioned-lock fixture at the
+// real telemetry path must stay silent, and every sabotaged site in hotbad
+// must be convicted (an unmatched want fails the test, so this doubles as
+// the sabotage smoke assertion CI runs).
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer,
+		"androne/internal/telemetry",
+		"hotbad",
+	)
+}

@@ -1,0 +1,92 @@
+// Package hotbad exercises the hotpath analyzer: allocations and
+// unsanctioned locks on an annotated hot path (directly, transitively, and
+// through func literals), the //vet:summary override in both directions
+// (trusted suppression and declared-effect conviction), the interface
+// trust boundary, and the reviewed //vet:allow suppression path.
+package hotbad
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Q is a queue whose mutex is NOT in the sanctioned owner-lock table.
+type Q struct {
+	mu  sync.Mutex
+	buf []int
+}
+
+//vet:hotpath fixture root: the enqueue fast path
+func (q *Q) Push(v int) {
+	q.mu.Lock() // want `hot path from Q.Push blocks: lock hotbad.Q.mu`
+	q.buf = append(q.buf, v)
+	q.mu.Unlock()
+	spill(v)
+	_ = scratch()
+	parks()
+}
+
+// spill is convicted transitively: it is only hot because Push calls it.
+func spill(v int) {
+	_ = make([]int, v) // want `hot path from Q.Push allocates: make`
+}
+
+// scratch's computed summary would say Allocates, but the override is
+// trusted (the analyzer must not descend or report).
+//
+//vet:summary effects=none scratch reuse, verified by the AllocsPerRun pin
+func scratch() []int { return make([]int, 4) }
+
+// parks declares the effect it hides, so the declaration itself is
+// convicted on the hot path — overrides cannot launder a real effect.
+//
+//vet:summary effects=BlocksOnLock parks on a futex in the fast syscall
+func parks() {} // want `hot path from Q.Push blocks: //vet:summary declares BlocksOnLock`
+
+//vet:hotpath fixture root: channel ops block
+func notify(ch chan int, v int) {
+	ch <- v // want `hot path from notify blocks: channel send`
+}
+
+//vet:hotpath fixture root: closures allocate
+func closureRoot(xs []int) int {
+	total := 0
+	walk := func(v int) { total += v } // want `hot path from closureRoot allocates: func literal`
+	for _, v := range xs {
+		walk(v)
+	}
+	return total
+}
+
+//vet:hotpath fixture root: leaf-table calls allocate
+func format(err error) error {
+	return fmt.Errorf("wrap: %w", err) // want `hot path from format allocates: call to fmt.Errorf`
+}
+
+// Sink is dynamic dispatch: a trust boundary the hotpath walk does not
+// cross (the seam is covered by the AllocsPerRun pins instead).
+type Sink interface{ Accept(v int) }
+
+// HeapSink allocates, but only behind the interface seam.
+type HeapSink struct{}
+
+func (HeapSink) Accept(v int) { _ = make([]int, v) }
+
+//vet:hotpath fixture root: interface callees are not followed
+func drive(s Sink, v int) { s.Accept(v) }
+
+//vet:hotpath fixture root: reviewed exceptions stay suppressed
+func lazy(q *Q) {
+	if q.buf == nil {
+		q.buf = make([]int, 0, 64) //vet:allow hotpath once-per-queue lazy init, not steady state
+	}
+}
+
+// typo's directive does not parse; the analyzer reports it so a bad
+// override cannot silently disable itself.
+//
+//vet:summary effect=none missing the s
+func typo() {} // want `malformed //vet:summary`
+
+// cold is not reachable from any root: it may allocate freely.
+func cold() []byte { return make([]byte, 32) }

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"androne/internal/analysis/framework"
 )
@@ -203,12 +204,31 @@ func Program(pkgs []*Package) *framework.Program {
 	return framework.NewProgram(pkgs[0].Fset, pps)
 }
 
+// AnalyzerTiming is one analyzer's wall-clock cost summed across every
+// package of a run.
+type AnalyzerTiming struct {
+	Analyzer string
+	Micros   int64
+}
+
+// RunStats is the per-run metadata the JSON report surfaces alongside the
+// findings: how many findings //vet:allow dropped, what each analyzer cost,
+// and the effect-summary engine's cache statistics when some analyzer
+// computed summaries (nil otherwise — the engine is lazy and shared).
+type RunStats struct {
+	Suppressed int
+	Timings    []AnalyzerTiming
+	Effects    *framework.EffectStats
+}
+
 // Run applies each analyzer to each package, returning findings sorted by
-// position with //vet:allow suppressions applied, plus the number of
-// findings those suppressions dropped.
-func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Finding, int, error) {
+// position with //vet:allow suppressions applied, plus the run's stats.
+// Timings follow the analyzer order given, one entry per analyzer.
+func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Finding, RunStats, error) {
 	prog := Program(pkgs)
+	var stats RunStats
 	var findings []Finding
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &framework.Pass{
@@ -227,13 +247,27 @@ func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Finding, int, erro
 					Message:  d.Message,
 				})
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, 0, fmt.Errorf("load: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[name] += time.Since(start)
+			if err != nil {
+				return nil, RunStats{}, fmt.Errorf("load: %s on %s: %v", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
-	var suppressed int
-	findings, suppressed = FilterCounted(findings)
+	for _, a := range analyzers {
+		stats.Timings = append(stats.Timings, AnalyzerTiming{
+			Analyzer: a.Name,
+			Micros:   elapsed[a.Name].Microseconds(),
+		})
+	}
+	if prog != nil {
+		if w, ok := prog.EffectsIfComputed(); ok {
+			es := w.Stats()
+			stats.Effects = &es
+		}
+	}
+	findings, stats.Suppressed = FilterCounted(findings)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -247,7 +281,7 @@ func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Finding, int, erro
 		}
 		return a.Message < b.Message
 	})
-	return findings, suppressed, nil
+	return findings, stats, nil
 }
 
 // Filter drops findings whose source line carries a matching //vet:allow

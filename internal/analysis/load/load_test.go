@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"androne/internal/analysis/ctxtimeout"
+	"androne/internal/analysis/detguard"
 	"androne/internal/analysis/errflow"
 	"androne/internal/analysis/framework"
+	"androne/internal/analysis/hotpath"
 	"androne/internal/analysis/load"
 	"androne/internal/analysis/locksafe"
 	"androne/internal/analysis/nsguard"
@@ -19,7 +21,9 @@ import (
 // suite mirrors the cmd/androne-vet analyzer set.
 var suite = []*framework.Analyzer{
 	ctxtimeout.Analyzer,
+	detguard.Analyzer,
 	errflow.Analyzer,
+	hotpath.Analyzer,
 	locksafe.Analyzer,
 	nsguard.Analyzer,
 	permguard.Analyzer,
@@ -39,12 +43,22 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; pattern resolution is broken", len(pkgs))
 	}
-	findings, _, err := load.Run(pkgs, suite)
+	findings, stats, err := load.Run(pkgs, suite)
 	if err != nil {
 		t.Fatalf("running suite: %v", err)
 	}
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+	if len(stats.Timings) != len(suite) {
+		t.Errorf("got %d timing entries, want one per analyzer (%d)", len(stats.Timings), len(suite))
+	}
+	// detguard/hotpath force the shared effect engine, so a full-suite run
+	// must surface its cache stats.
+	if stats.Effects == nil {
+		t.Error("no effect-summary stats; the contract analyzers did not compute summaries")
+	} else if stats.Effects.Functions == 0 || stats.Effects.Passes == 0 {
+		t.Errorf("implausible effect stats: %+v", *stats.Effects)
 	}
 }
 

@@ -14,20 +14,42 @@ type JSONFinding struct {
 	Message  string `json:"message"`
 }
 
+// JSONTiming is one analyzer's wall-clock cost in the -json output.
+type JSONTiming struct {
+	Analyzer string `json:"analyzer"`
+	Micros   int64  `json:"micros"`
+}
+
+// JSONEffectStats is the effect-summary engine's cache statistics in the
+// -json output: how much the shared bottom-up fixpoint covered and where
+// it was optimistic (unknown callees, bounded interface fan-outs).
+type JSONEffectStats struct {
+	Functions      int `json:"functions"`
+	Passes         int `json:"passes"`
+	Overrides      int `json:"overrides"`
+	LeafCalls      int `json:"leaf_calls"`
+	UnknownCallees int `json:"unknown_callees"`
+	BoundedCalls   int `json:"bounded_calls"`
+}
+
 // JSONReport is the full -json document: the analyzers that ran, every
-// surviving finding, and how many findings //vet:allow comments dropped.
+// surviving finding, how many findings //vet:allow comments dropped, each
+// analyzer's wall-clock cost, and — when an analyzer computed effect
+// summaries — the engine's cache statistics.
 type JSONReport struct {
-	Analyzers  []string      `json:"analyzers"`
-	Findings   []JSONFinding `json:"findings"`
-	Suppressed int           `json:"suppressed"`
+	Analyzers  []string         `json:"analyzers"`
+	Findings   []JSONFinding    `json:"findings"`
+	Suppressed int              `json:"suppressed"`
+	Timings    []JSONTiming     `json:"timings,omitempty"`
+	Effects    *JSONEffectStats `json:"effect_summaries,omitempty"`
 }
 
 // Report assembles the JSON document for a completed run.
-func Report(analyzers []string, findings []Finding, suppressed int) JSONReport {
+func Report(analyzers []string, findings []Finding, stats RunStats) JSONReport {
 	out := JSONReport{
 		Analyzers:  analyzers,
 		Findings:   make([]JSONFinding, 0, len(findings)),
-		Suppressed: suppressed,
+		Suppressed: stats.Suppressed,
 	}
 	for _, f := range findings {
 		out.Findings = append(out.Findings, JSONFinding{
@@ -37,6 +59,19 @@ func Report(analyzers []string, findings []Finding, suppressed int) JSONReport {
 			Column:   f.Pos.Column,
 			Message:  f.Message,
 		})
+	}
+	for _, tm := range stats.Timings {
+		out.Timings = append(out.Timings, JSONTiming{Analyzer: tm.Analyzer, Micros: tm.Micros})
+	}
+	if stats.Effects != nil {
+		out.Effects = &JSONEffectStats{
+			Functions:      stats.Effects.Functions,
+			Passes:         stats.Effects.Passes,
+			Overrides:      stats.Effects.Overrides,
+			LeafCalls:      stats.Effects.LeafCalls,
+			UnknownCallees: stats.Effects.UnknownCallees,
+			BoundedCalls:   stats.Effects.BoundedCalls,
+		}
 	}
 	return out
 }

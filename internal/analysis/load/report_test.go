@@ -5,12 +5,14 @@ import (
 	"go/token"
 	"testing"
 
+	"androne/internal/analysis/framework"
 	"androne/internal/analysis/load"
 )
 
 // TestJSONReportGolden pins the exact -json document shape: key names,
-// ordering, indentation, and the empty-findings encoding ([] rather than
-// null) that downstream CI tooling parses.
+// ordering, indentation, the per-analyzer timing entries, the
+// effect-summary cache stats, and the empty-findings encoding ([] rather
+// than null) that downstream CI tooling parses.
 func TestJSONReportGolden(t *testing.T) {
 	findings := []load.Finding{
 		{
@@ -19,12 +21,27 @@ func TestJSONReportGolden(t *testing.T) {
 			Message:  "error from PublishToAllNS (PUBLISH_TO_ALL_NS ioctl) is discarded",
 		},
 		{
-			Analyzer: "permguard",
-			Pos:      token.Position{Filename: "internal/devcon/devcon.go", Line: 300, Column: 2},
-			Message:  "hardware sink Camera.Capture is reachable from handler handleTxn without a dominating permission+policy check (path: handleTxn -> Capture)",
+			Analyzer: "hotpath",
+			Pos:      token.Position{Filename: "internal/binder/binder.go", Line: 480, Column: 2},
+			Message:  "hot path from Proc.Transact blocks: lock androne/internal/binder.Driver.mu",
 		},
 	}
-	report := load.Report([]string{"errflow", "permguard"}, findings, 3)
+	stats := load.RunStats{
+		Suppressed: 3,
+		Timings: []load.AnalyzerTiming{
+			{Analyzer: "errflow", Micros: 1200},
+			{Analyzer: "hotpath", Micros: 450},
+		},
+		Effects: &framework.EffectStats{
+			Functions:      812,
+			Passes:         4,
+			Overrides:      2,
+			LeafCalls:      95,
+			UnknownCallees: 140,
+			BoundedCalls:   1,
+		},
+	}
+	report := load.Report([]string{"errflow", "hotpath"}, findings, stats)
 
 	var buf bytes.Buffer
 	if err := load.WriteJSON(&buf, report); err != nil {
@@ -33,7 +50,7 @@ func TestJSONReportGolden(t *testing.T) {
 	golden := `{
   "analyzers": [
     "errflow",
-    "permguard"
+    "hotpath"
   ],
   "findings": [
     {
@@ -44,14 +61,32 @@ func TestJSONReportGolden(t *testing.T) {
       "message": "error from PublishToAllNS (PUBLISH_TO_ALL_NS ioctl) is discarded"
     },
     {
-      "analyzer": "permguard",
-      "file": "internal/devcon/devcon.go",
-      "line": 300,
+      "analyzer": "hotpath",
+      "file": "internal/binder/binder.go",
+      "line": 480,
       "column": 2,
-      "message": "hardware sink Camera.Capture is reachable from handler handleTxn without a dominating permission+policy check (path: handleTxn -> Capture)"
+      "message": "hot path from Proc.Transact blocks: lock androne/internal/binder.Driver.mu"
     }
   ],
-  "suppressed": 3
+  "suppressed": 3,
+  "timings": [
+    {
+      "analyzer": "errflow",
+      "micros": 1200
+    },
+    {
+      "analyzer": "hotpath",
+      "micros": 450
+    }
+  ],
+  "effect_summaries": {
+    "functions": 812,
+    "passes": 4,
+    "overrides": 2,
+    "leaf_calls": 95,
+    "unknown_callees": 140,
+    "bounded_calls": 1
+  }
 }
 `
 	if got := buf.String(); got != golden {
@@ -60,10 +95,11 @@ func TestJSONReportGolden(t *testing.T) {
 }
 
 // TestJSONReportEmpty pins the clean-run document: findings must encode as
-// an empty array, not null.
+// an empty array, not null, and the optional timing/effect sections must be
+// absent entirely when a run produced neither.
 func TestJSONReportEmpty(t *testing.T) {
 	var buf bytes.Buffer
-	if err := load.WriteJSON(&buf, load.Report([]string{"errflow"}, nil, 0)); err != nil {
+	if err := load.WriteJSON(&buf, load.Report([]string{"errflow"}, nil, load.RunStats{})); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
 	golden := `{

@@ -1,0 +1,49 @@
+// Allocation budget for the Binder hot path. The data-only Transact round
+// trip is the fleet's most frequent ioctl and is documented (and
+// statically checked by androne-vet's hotpath analyzer) to stay off
+// Driver.mu and allocation-free; this test pins the budget at zero so a
+// regression shows up as a test failure rather than a silent line in the
+// next androne-bench -exp scale run.
+
+package binder
+
+import "testing"
+
+// TestTransactDataOnlyZeroAlloc pins the lock-free data-only transaction
+// path — handle resolution through the copy-on-write snapshot, sharded
+// transaction count, handler dispatch, data-only reply — at 0 allocs/op.
+func TestTransactDataOnlyZeroAlloc(t *testing.T) {
+	d := NewDriver()
+	ns, err := d.CreateNamespace("vd1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTestManager(t, ns)
+
+	owner := ns.Attach(1000)
+	pong := []byte("pong")
+	node := owner.NewNode("echo", func(txn Txn) (Reply, error) {
+		return Reply{Data: pong}, nil
+	})
+	if _, _, err := owner.Transact(ContextManagerHandle, CodeAddService, []byte("echo"), []*Node{node}); err != nil {
+		t.Fatalf("AddService: %v", err)
+	}
+
+	client := ns.Attach(1001)
+	_, handles, err := client.Transact(ContextManagerHandle, CodeGetService, []byte("echo"), nil)
+	if err != nil || len(handles) != 1 {
+		t.Fatalf("GetService: handles=%v err=%v", handles, err)
+	}
+	h := handles[0]
+
+	payload := []byte("ping")
+	allocs := testing.AllocsPerRun(1000, func() {
+		data, objs, err := client.Transact(h, CodeUser, payload, nil)
+		if err != nil || len(objs) != 0 || len(data) != len(pong) {
+			t.Fatalf("Transact: data=%q objs=%v err=%v", data, objs, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("data-only transact allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -32,6 +32,7 @@ package binder
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -223,7 +224,7 @@ func (d *Driver) CreateNamespace(name string) (*Namespace, error) {
 	}
 	ns := &Namespace{driver: d, name: name, key: key}
 	next := make(map[string]*Namespace, len(cur)+1)
-	for k, v := range cur {
+	for k, v := range cur { //vet:allow detguard copy-on-write map clone; order-independent
 		next[k] = v
 	}
 	next[name] = ns
@@ -241,7 +242,7 @@ func (d *Driver) RemoveNamespace(name string) {
 		return
 	}
 	next := make(map[string]*Namespace, len(cur))
-	for k, v := range cur {
+	for k, v := range cur { //vet:allow detguard copy-on-write map clone; order-independent
 		if k != name {
 			next[k] = v
 		}
@@ -398,7 +399,7 @@ func (p *Proc) resolve(h Handle) (*Node, error) {
 	}
 	n, ok := (*p.handles.Load())[h]
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrBadHandle, h)
+		return nil, fmt.Errorf("%w: %d", ErrBadHandle, h) //vet:allow hotpath cold error path (oversized transaction)
 	}
 	if n.dead() {
 		return nil, ErrDeadNode
@@ -412,15 +413,15 @@ func (p *Proc) resolve(h Handle) (*Node, error) {
 // adds the entry, and publishes the clone.
 func (p *Proc) installLocked(n *Node) Handle {
 	cur := *p.handles.Load()
-	for h, existing := range cur {
+	for h, existing := range cur { //vet:allow detguard identity scan; a node appears at most once
 		if existing == n {
 			return h
 		}
 	}
 	h := p.next
 	p.next++
-	next := make(map[Handle]*Node, len(cur)+1)
-	for k, v := range cur {
+	next := make(map[Handle]*Node, len(cur)+1) //vet:allow hotpath object-transfer slow path; serializes on d.mu by contract
+	for k, v := range cur {                    //vet:allow detguard copy-on-write map clone; order-independent
 		next[k] = v
 	}
 	next[h] = n
@@ -445,13 +446,15 @@ func (p *Proc) NodeFor(h Handle) (*Node, error) {
 // padded atomic cells. Parallel callers in different processes never touch
 // Driver.mu (measured by androne-bench -exp scale). Object transfer still
 // serializes on d.mu because it grows a handle table.
+//
+//vet:hotpath data-only transact is the fleet's de-contended fast path
 func (p *Proc) Transact(h Handle, code uint32, data []byte, objects []*Node) ([]byte, []Handle, error) {
 	d := p.driver
 	if len(data) > MaxTransactionBytes {
 		mTransactions.Inc() // cold error path: direct atomic is fine
 		mTransactErrors.Inc()
 		d.tel.Emit(p.ns.key, kTxnError, int64(code), int64(len(data)), "too-large")
-		return nil, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
+		return nil, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data)) //vet:allow hotpath cold error path (bad handle)
 	}
 	d.txns.Inc(p.pid) // sharded by PID; FlushMetrics folds the batch in
 	target, err := p.resolve(h)
@@ -476,12 +479,12 @@ func (p *Proc) Transact(h Handle, code uint32, data []byte, objects []*Node) ([]
 		}
 		return reply.Data, nil, nil
 	}
-	d.mu.Lock()
+	d.mu.Lock() //vet:allow hotpath object replies serialize on d.mu by contract
 	defer d.mu.Unlock()
 	if p.dead.Load() {
 		return nil, nil, ErrDeadProc
 	}
-	handles := make([]Handle, len(reply.Objects))
+	handles := make([]Handle, len(reply.Objects)) //vet:allow hotpath object-transfer slow path; serializes on d.mu by contract
 	for i, n := range reply.Objects {
 		handles[i] = p.installLocked(n)
 	}
@@ -496,12 +499,12 @@ func (d *Driver) deliver(sender Sender, target *Node, code uint32, data []byte, 
 	var objHandles []Handle
 	if len(objects) > 0 {
 		owner := target.owner
-		d.mu.Lock()
+		d.mu.Lock() //vet:allow hotpath object transfer serializes on d.mu by contract
 		if target.dead() {
 			d.mu.Unlock()
 			return Reply{}, ErrDeadNode
 		}
-		objHandles = make([]Handle, len(objects))
+		objHandles = make([]Handle, len(objects)) //vet:allow hotpath object-transfer slow path; serializes on d.mu by contract
 		for i, n := range objects {
 			objHandles[i] = owner.installLocked(n)
 		}
@@ -511,7 +514,7 @@ func (d *Driver) deliver(sender Sender, target *Node, code uint32, data []byte, 
 	}
 	h := target.h
 	if h == nil {
-		return Reply{}, fmt.Errorf("binder: node %q has no handler", target.name)
+		return Reply{}, fmt.Errorf("binder: node %q has no handler", target.name) //vet:allow hotpath cold error path (node without handler)
 	}
 	return h(Txn{Code: code, Data: data, Objects: objHandles, Sender: sender})
 }
@@ -537,7 +540,9 @@ func (p *Proc) PublishToAllNS(name string, h Handle) error {
 		return err
 	}
 	d.published = append(d.published, publishedService{name: name, node: node})
-	// Snapshot the managers to call outside the lock.
+	// Snapshot the managers to call outside the lock, in namespace-name
+	// order: each AddService delivery can emit trace events, so the fan-out
+	// sequence must not follow map iteration order.
 	var managers []*Node
 	for _, ns := range *d.namespaces.Load() {
 		if ns == d.devcon {
@@ -550,6 +555,9 @@ func (p *Proc) PublishToAllNS(name string, h Handle) error {
 		}
 	}
 	d.mu.Unlock()
+	sort.Slice(managers, func(i, j int) bool {
+		return managers[i].owner.ns.name < managers[j].owner.ns.name
+	})
 	for _, mgr := range managers {
 		if _, err := d.deliver(kernelSender(), mgr, CodeAddService, []byte(name), []*Node{node}); err != nil {
 			return fmt.Errorf("binder: publishing %q to %q: %w", name, mgr.owner.ns.name, err)

@@ -396,7 +396,7 @@ type Checkpoint struct {
 func (c *Container) Checkpoint() ([]byte, error) {
 	c.mu.Lock()
 	upper := make(map[string][]byte, len(c.upper))
-	for p, b := range c.upper {
+	for p, b := range c.upper { //vet:allow detguard checkpoint copy; JSON encoding sorts map keys
 		upper[p] = append([]byte(nil), b...)
 	}
 	c.mu.Unlock()
@@ -479,7 +479,7 @@ func (rt *Runtime) Restore(data []byte) (*Container, error) {
 		return nil, err
 	}
 	c.mu.Lock()
-	for p, b := range cp.Upper {
+	for p, b := range cp.Upper { //vet:allow detguard restore copy; per-key writes are order-independent
 		c.upper[p] = append([]byte(nil), b...)
 	}
 	c.mu.Unlock()

@@ -83,11 +83,12 @@ type VirtualDrone struct {
 	// hardware behind it (paper §4.1).
 	Framebuffer *devices.Framebuffer
 
-	vdc  *VDC
-	key  telemetry.Key // interned Name, cached for zero-cost emission
-	sdks map[string]*sdk.SDK
-	apps map[string]android.Lifecycle
-	uids map[string]int
+	vdc      *VDC
+	key      telemetry.Key // interned Name, cached for zero-cost emission
+	sdks     map[string]*sdk.SDK
+	apps     map[string]android.Lifecycle
+	uids     map[string]int
+	appOrder []string // definition order; event fan-out and ticks follow it
 
 	mu                sync.Mutex
 	started           bool // reached its first waypoint
@@ -153,17 +154,19 @@ func (vd *VirtualDrone) CompleteRequested() bool {
 	return vd.completeRequested
 }
 
-// deliver fans an SDK event to every app.
+// deliver fans an SDK event to every app, in definition order: app
+// handlers run arbitrary code, so iterating the sdks map directly would
+// let Go's randomized map order reorder side effects between replays.
 func (vd *VirtualDrone) deliver(e sdk.Event) {
-	for _, s := range vd.sdks {
-		s.Deliver(e)
+	for _, pkg := range vd.appOrder {
+		vd.sdks[pkg].Deliver(e)
 	}
 }
 
-// tick runs active apps' periodic work.
+// tick runs active apps' periodic work, in definition order (see deliver).
 func (vd *VirtualDrone) tick(dt float64) {
-	for _, lc := range vd.apps {
-		if t, ok := lc.(Ticker); ok {
+	for _, pkg := range vd.appOrder {
+		if t, ok := vd.apps[pkg].(Ticker); ok {
 			t.Tick(dt)
 		}
 	}
@@ -408,6 +411,7 @@ func (v *VDC) create(def *Definition, checkpoint []byte) (*VirtualDrone, error) 
 	for i, pkg := range def.Apps {
 		uid := 10001 + i
 		vd.uids[pkg] = uid
+		vd.appOrder = append(vd.appOrder, pkg)
 		v.grantPermissions(inst, uid, def)
 		s := sdk.New(host, pkg)
 		vd.sdks[pkg] = s
@@ -593,7 +597,15 @@ func (v *VDC) WaypointLeft(name string, idx int) error {
 // after the revocation notice.
 func (v *VDC) enforceRevocation(vd *VirtualDrone) {
 	continuous := vd.Def.ContinuousKinds()
-	for svc, kinds := range devcon.ServiceDevices {
+	// Kill in sorted service order: each kill emits a trace event, and
+	// replayed traces must not depend on map iteration order.
+	svcs := make([]string, 0, len(devcon.ServiceDevices))
+	for svc := range devcon.ServiceDevices {
+		svcs = append(svcs, svc)
+	}
+	sort.Strings(svcs)
+	for _, svc := range svcs {
+		kinds := devcon.ServiceDevices[svc]
 		if !hasKind(vd.Def.WaypointKinds(), kinds[0]) {
 			continue
 		}
@@ -636,6 +648,8 @@ func (v *VDC) resumeOthers(active string) {
 	}
 }
 
+// snapshotExcept returns every other virtual drone in name order — callers
+// notify apps through the snapshot, so its order must be replay-stable.
 func (v *VDC) snapshotExcept(name string) []*VirtualDrone {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -645,6 +659,7 @@ func (v *VDC) snapshotExcept(name string) []*VirtualDrone {
 			out = append(out, vd)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
@@ -695,6 +710,9 @@ func (v *VDC) TickTransit(dt float64) {
 		vds = append(vds, vd)
 	}
 	v.mu.Unlock()
+	// App ticks run in name order so a replayed fleet tick is one
+	// deterministic sequence, not a map-order shuffle.
+	sort.Slice(vds, func(i, j int) bool { return vds[i].Name < vds[j].Name })
 	for _, vd := range vds {
 		vd.mu.Lock()
 		inWindow := vd.started && !vd.done && !vd.atWaypoint && !vd.suspended &&

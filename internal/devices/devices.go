@@ -107,7 +107,7 @@ func (r *Registry) Add(d Device) {
 	defer r.mu.Unlock()
 	cur := *r.devices.Load()
 	next := make(map[string]Device, len(cur)+1)
-	for k, v := range cur {
+	for k, v := range cur { //vet:allow detguard copy-on-write map clone; order-independent
 		next[k] = v
 	}
 	next[name] = d

@@ -121,6 +121,8 @@ func cloneScenario(sc *simharness.Scenario) (*simharness.Scenario, error) {
 }
 
 // hashResult renders one run to its canonical trace hash.
+//
+//vet:detpath per-drone digests must be bit-identical at any worker count
 func hashResult(res *simharness.Result) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "scenario=%s\nseed=%s\nticks=%d\n", res.Scenario, res.Seed, res.Ticks)
@@ -188,6 +190,8 @@ func Run(cfg Config) (*Summary, error) {
 }
 
 // runOne builds and flies one drone's private stack.
+//
+//vet:detpath one drone's run must replay identically under any scheduling
 func runOne(base *simharness.Scenario, fleetSeed string, i int) DroneResult {
 	dr := DroneResult{Index: i, Seed: DroneSeed(fleetSeed, i)}
 	sc, err := cloneScenario(base)

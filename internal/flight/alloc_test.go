@@ -1,0 +1,42 @@
+// Allocation budget for the 400 Hz fast loop. One Controller.Step — the
+// sensor reads, estimator, control math, and motor write — must not
+// allocate: a per-step allocation at fleet scale turns into GC pressure
+// that shows up as missed control deadlines, and androne-vet's hotpath
+// analyzer enforces the same contract statically. This test pins the
+// budget at zero so the two checks vouch for each other.
+
+package flight
+
+import (
+	"testing"
+
+	"androne/internal/geo"
+	"androne/internal/mavlink"
+)
+
+// TestStepZeroAlloc pins one fast-loop step (armed, guided, mid-flight, so
+// the full estimator and position controller run) at 0 allocs/op.
+func TestStepZeroAlloc(t *testing.T) {
+	home := geo.Position{LatLon: geo.LatLon{Lat: 47.397742, Lon: 8.545594}, Alt: 488}
+	v := NewVehicle(home, "alloc-test")
+	v.StepSeconds(0.5) // settle the estimator
+	c := v.Controller
+	if err := c.SetModeNum(mavlink.ModeGuided); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Takeoff(10); err != nil {
+		t.Fatal(err)
+	}
+	v.StepSeconds(2) // climb into a working flight state
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		v.Sim.Step(FastLoopDT)
+		c.Step(FastLoopDT)
+	})
+	if allocs != 0 {
+		t.Fatalf("fast-loop step allocated %.1f/op, want 0", allocs)
+	}
+}

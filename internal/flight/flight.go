@@ -223,7 +223,7 @@ func (c *Controller) Arm() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.haveFix {
-		return fmt.Errorf("%w: no position estimate", ErrUnsafe)
+		return fmt.Errorf("%w: no position estimate", ErrUnsafe) //vet:allow hotpath cold error path (arm without a fix)
 	}
 	c.armed = true
 	return nil
@@ -272,14 +272,14 @@ func (c *Controller) setModeLocked(mode uint32) error {
 		c.mode = mode
 	case mavlink.ModeAuto:
 		if len(c.mission) == 0 {
-			return fmt.Errorf("%w: empty mission", ErrBadArgument)
+			return fmt.Errorf("%w: empty mission", ErrBadArgument) //vet:allow hotpath cold error path (mode rejection)
 		}
 		c.missionIdx = 0
 		c.setGuidedTargetLocked(c.mission[0])
 		c.landing = false
 		c.mode = mode
 	default:
-		return fmt.Errorf("%w: mode %d", ErrBadArgument, mode)
+		return fmt.Errorf("%w: mode %d", ErrBadArgument, mode) //vet:allow hotpath cold error path (mode rejection)
 	}
 	return nil
 }
@@ -292,10 +292,10 @@ func (c *Controller) Takeoff(alt float64) error {
 		return ErrNotArmed
 	}
 	if c.mode != mavlink.ModeGuided {
-		return fmt.Errorf("%w: takeoff requires GUIDED", ErrWrongMode)
+		return fmt.Errorf("%w: takeoff requires GUIDED", ErrWrongMode) //vet:allow hotpath cold error path (takeoff precondition)
 	}
 	if alt <= 0 {
-		return fmt.Errorf("%w: altitude %g", ErrBadArgument, alt)
+		return fmt.Errorf("%w: altitude %g", ErrBadArgument, alt) //vet:allow hotpath cold error path (takeoff precondition)
 	}
 	c.tgtN, c.tgtE = c.posN, c.posE
 	c.tgtAlt = alt
@@ -312,10 +312,10 @@ func (c *Controller) GotoPosition(p geo.Position, speed float64) error {
 		return ErrNotArmed
 	}
 	if c.mode != mavlink.ModeGuided {
-		return fmt.Errorf("%w: goto requires GUIDED", ErrWrongMode)
+		return fmt.Errorf("%w: goto requires GUIDED", ErrWrongMode) //vet:allow hotpath cold error path (goto precondition)
 	}
 	if speed < 0 {
-		return fmt.Errorf("%w: speed %g", ErrBadArgument, speed)
+		return fmt.Errorf("%w: speed %g", ErrBadArgument, speed) //vet:allow hotpath cold error path (goto precondition)
 	}
 	c.speedLimit = speed
 	c.setGuidedTargetLocked(p)
@@ -400,6 +400,8 @@ func (c *Controller) MissionIndex() int {
 // observes a command at most one fast-loop period (2.5 ms) stale — the
 // same guarantee an ESC bus gives — and the lock can never participate in
 // a cycle through a device implementation.
+//
+//vet:hotpath the 400 Hz fast loop: one step must stay allocation-free
 func (c *Controller) Step(dt float64) {
 	if dt <= 0 {
 		return
@@ -407,7 +409,7 @@ func (c *Controller) Step(dt float64) {
 	var t0 time.Time
 	sampled := telemetry.Enabled() && c.stepCount.Add(1)%stepSampleEvery == 0
 	if sampled {
-		t0 = time.Now()
+		t0 = time.Now() //vet:allow detguard wall clock feeds only the sampled latency histogram
 	}
 	imu := c.sensors.IMU()
 	hdg := c.sensors.Heading()
@@ -432,7 +434,7 @@ func (c *Controller) Step(dt float64) {
 	c.mu.Unlock()
 	c.motors.SetMotors(cmd)
 	if sampled {
-		mStepNS.Observe(float64(time.Since(t0).Nanoseconds()))
+		mStepNS.Observe(float64(time.Since(t0).Nanoseconds())) //vet:allow detguard wall clock feeds only the sampled latency histogram
 	}
 }
 
@@ -705,7 +707,7 @@ func (c *Controller) HandleMessage(msg mavlink.Message) []mavlink.Message {
 		c.missionIdx = 0
 		c.uploading = false
 		c.mu.Unlock()
-		return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionAccepted}}
+		return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionAccepted}} //vet:allow hotpath mission-protocol reply; not the steady-state stream
 	case *mavlink.Heartbeat:
 		return nil
 	}
@@ -717,7 +719,7 @@ func (c *Controller) HandleMessage(msg mavlink.Message) []mavlink.Message {
 func (c *Controller) handleMissionCount(m *mavlink.MissionCount) []mavlink.Message {
 	const maxItems = 512
 	if m.Count == 0 || m.Count > maxItems {
-		return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionInvalidParam}}
+		return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionInvalidParam}} //vet:allow hotpath mission-protocol reply; not the steady-state stream
 	}
 	c.mu.Lock()
 	c.uploading = true
@@ -725,7 +727,7 @@ func (c *Controller) handleMissionCount(m *mavlink.MissionCount) []mavlink.Messa
 	c.uploadNext = 0
 	c.uploadItems = c.uploadItems[:0]
 	c.mu.Unlock()
-	return []mavlink.Message{&mavlink.MissionRequestInt{Seq: 0}}
+	return []mavlink.Message{&mavlink.MissionRequestInt{Seq: 0}} //vet:allow hotpath mission-protocol reply; not the steady-state stream
 }
 
 // handleMissionItem accepts the next mission item, requesting the following
@@ -734,15 +736,15 @@ func (c *Controller) handleMissionItem(m *mavlink.MissionItemInt) []mavlink.Mess
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.uploading {
-		return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionError}}
+		return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionError}} //vet:allow hotpath mission-protocol reply; not the steady-state stream
 	}
 	if int(m.Seq) != c.uploadNext {
 		c.uploading = false
-		return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionInvalidSeq}}
+		return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionInvalidSeq}} //vet:allow hotpath mission-protocol reply; not the steady-state stream
 	}
 	if m.Command != mavlink.CmdNavWaypoint {
 		c.uploading = false
-		return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionUnsupported}}
+		return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionUnsupported}} //vet:allow hotpath mission-protocol reply; not the steady-state stream
 	}
 	c.uploadItems = append(c.uploadItems, geo.Position{
 		LatLon: geo.LatLon{Lat: mavlink.E7ToLatLon(m.LatE7), Lon: mavlink.E7ToLatLon(m.LonE7)},
@@ -750,12 +752,12 @@ func (c *Controller) handleMissionItem(m *mavlink.MissionItemInt) []mavlink.Mess
 	})
 	c.uploadNext++
 	if c.uploadNext < c.uploadTotal {
-		return []mavlink.Message{&mavlink.MissionRequestInt{Seq: uint16(c.uploadNext)}}
+		return []mavlink.Message{&mavlink.MissionRequestInt{Seq: uint16(c.uploadNext)}} //vet:allow hotpath mission-protocol reply; not the steady-state stream
 	}
 	c.mission = append([]geo.Position(nil), c.uploadItems...)
 	c.missionIdx = 0
 	c.uploading = false
-	return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionAccepted}}
+	return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionAccepted}} //vet:allow hotpath mission-protocol reply; not the steady-state stream
 }
 
 // ackReply fills the reply scratch with a command ack — the allocation-free
@@ -768,10 +770,10 @@ func (c *Controller) ackReply(cmd uint16, res uint8) []mavlink.Message {
 }
 
 func (c *Controller) handleCommand(m *mavlink.CommandLong) []mavlink.Message {
-	ack := func(res uint8) []mavlink.Message {
+	ack := func(res uint8) []mavlink.Message { //vet:allow hotpath non-escaping closure; conservative FuncLit rule
 		return c.ackReply(m.Command, res)
 	}
-	fail := func(err error) []mavlink.Message {
+	fail := func(err error) []mavlink.Message { //vet:allow hotpath non-escaping closure; conservative FuncLit rule
 		if err == nil {
 			return ack(mavlink.ResultAccepted)
 		}

@@ -26,7 +26,7 @@ type Log struct {
 func NewLog() *Log { return &Log{} }
 
 func (l *Log) add(s Sample) {
-	l.mu.Lock()
+	l.mu.Lock() //vet:allow hotpath opt-in AED flight log; off in fleet runs
 	defer l.mu.Unlock()
 	l.samples = append(l.samples, s)
 }

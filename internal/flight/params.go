@@ -48,7 +48,7 @@ func (c *Controller) paramGetLocked(name string) (float32, bool) {
 // paramSetLocked writes a parameter, clamping to hard safety bounds. Caller
 // holds c.mu. Returns the value actually stored.
 func (c *Controller) paramSetLocked(name string, v float32) (float32, bool) {
-	clamp64 := func(x, lo, hi float64) float64 { return math.Min(hi, math.Max(lo, x)) }
+	clamp64 := func(x, lo, hi float64) float64 { return math.Min(hi, math.Max(lo, x)) } //vet:allow hotpath non-escaping closure; conservative FuncLit rule
 	switch name {
 	case ParamWPNavSpeed:
 		c.limits.MaxSpeedMS = clamp64(float64(v)/100, 0.5, 12)
@@ -76,10 +76,10 @@ func (c *Controller) handleParam(msg mavlink.Message) []mavlink.Message {
 	defer c.mu.Unlock()
 	switch m := msg.(type) {
 	case *mavlink.ParamRequestList:
-		out := make([]mavlink.Message, 0, len(paramNames))
+		out := make([]mavlink.Message, 0, len(paramNames)) //vet:allow hotpath param-protocol reply; not the steady-state stream
 		for i, name := range paramNames {
 			v, _ := c.paramGetLocked(name)
-			out = append(out, &mavlink.ParamValue{
+			out = append(out, &mavlink.ParamValue{ //vet:allow hotpath param-protocol reply; not the steady-state stream
 				Value: v, ParamCount: uint16(len(paramNames)), ParamIndex: uint16(i),
 				ParamID: name, ParamType: 9, // MAV_PARAM_TYPE_REAL32
 			})
@@ -87,7 +87,7 @@ func (c *Controller) handleParam(msg mavlink.Message) []mavlink.Message {
 		return out
 	case *mavlink.ParamRequestRead:
 		if v, ok := c.paramGetLocked(m.ParamID); ok {
-			return []mavlink.Message{&mavlink.ParamValue{
+			return []mavlink.Message{&mavlink.ParamValue{ //vet:allow hotpath param-protocol reply; not the steady-state stream
 				Value: v, ParamCount: uint16(len(paramNames)),
 				ParamID: m.ParamID, ParamType: 9,
 			}}
@@ -97,7 +97,7 @@ func (c *Controller) handleParam(msg mavlink.Message) []mavlink.Message {
 		if v, ok := c.paramSetLocked(m.ParamID, m.Value); ok {
 			// MAVLink confirms a set by echoing the (possibly clamped)
 			// stored value.
-			return []mavlink.Message{&mavlink.ParamValue{
+			return []mavlink.Message{&mavlink.ParamValue{ //vet:allow hotpath param-protocol reply; not the steady-state stream
 				Value: v, ParamCount: uint16(len(paramNames)),
 				ParamID: m.ParamID, ParamType: 9,
 			}}

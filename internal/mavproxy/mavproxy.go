@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -325,6 +326,9 @@ func (p *Proxy) Tick() {
 		vfcs = append(vfcs, v)
 	}
 	p.mu.Unlock()
+	// Recovery progresses (and emits trace events) per VFC; run them in
+	// name order so replays do not inherit map iteration order.
+	sort.Slice(vfcs, func(i, j int) bool { return vfcs[i].name < vfcs[j].name })
 
 	for _, v := range vfcs {
 		v.mu.Lock()
@@ -423,8 +427,9 @@ type VFC struct {
 	// in-flight Send per connection, as on a real telemetry link — so the
 	// scratch is single-writer without v.mu; the returned slice and the
 	// ack it points at are valid until the next Send on this VFC.
-	ackScratch   mavlink.CommandAck
-	replyScratch [1]mavlink.Message
+	ackScratch        mavlink.CommandAck
+	missionAckScratch mavlink.MissionAck
+	replyScratch      [1]mavlink.Message
 }
 
 // Name returns the VFC's virtual drone name.
@@ -461,6 +466,15 @@ func (v *VFC) deny(msg mavlink.Message, result uint8, reason string) []mavlink.M
 	return v.replyScratch[:]
 }
 
+// missionDeny is deny's counterpart for the mission protocol, where the
+// rejection is a MissionAck rather than a CommandAck. Same serial-endpoint
+// scratch contract as deny: valid until the next Send on this VFC.
+func (v *VFC) missionDeny(t uint8) []mavlink.Message {
+	v.missionAckScratch = mavlink.MissionAck{Type: t}
+	v.replyScratch[0] = &v.missionAckScratch
+	return v.replyScratch[:]
+}
+
 // cmdOf extracts the MAV_CMD number when the message carries one.
 func cmdOf(msg mavlink.Message) int64 {
 	if m, ok := msg.(*mavlink.CommandLong); ok {
@@ -486,6 +500,8 @@ func denyCmd(msg mavlink.Message) uint16 {
 // reached (and after it is finished) all commands are declined. While
 // active, the whitelist and geofence are enforced, then the message is
 // forwarded to the real flight controller.
+//
+//vet:hotpath per-message dispatch, 0 allocs/op pinned by TestSendAcceptedZeroAlloc
 func (v *VFC) Send(msg mavlink.Message) []mavlink.Message {
 	if _, isHB := msg.(*mavlink.Heartbeat); isHB {
 		return nil // heartbeats are always accepted silently
@@ -553,7 +569,7 @@ func (v *VFC) Send(msg mavlink.Message) []mavlink.Message {
 		if !fence.Contains(target) {
 			mRejects.Inc()
 			v.tel.Emit(v.key, kReject, int64(msg.ID()), 0, "fence")
-			return []mavlink.Message{&mavlink.MissionAck{Type: mavlink.MissionDenied}}
+			return v.missionDeny(mavlink.MissionDenied)
 		}
 	default:
 		return v.deny(msg, mavlink.ResultDenied, "unlisted")

@@ -892,6 +892,8 @@ func (r *Runner) offloadAndSave() {
 }
 
 // RunScenario is the one-call entry: build the stack, run, return result.
+//
+//vet:detpath scenario runs feed trace hashes and violation rendering
 func RunScenario(sc *Scenario) (*Result, error) {
 	r, err := NewRunner(sc)
 	if err != nil {

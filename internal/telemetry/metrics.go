@@ -111,6 +111,8 @@ func NewCounterIn(reg *Registry, name, help string) *Counter {
 }
 
 // Inc adds one. This is the hot-path update — a single atomic add.
+//
+//vet:hotpath metric fast path: one atomic add, nothing else
 func (c *Counter) Inc() {
 	if !enabled.Load() {
 		return
@@ -153,6 +155,8 @@ func (c *Counter) Local() *LocalCount { return &LocalCount{c: c} }
 
 // Inc adds one to the shard. The caller must hold the lock that
 // serializes this shard.
+//
+//vet:hotpath lock-amortized metric shard: a plain increment
 func (l *LocalCount) Inc() {
 	if !enabled.Load() {
 		return

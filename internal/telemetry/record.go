@@ -39,7 +39,10 @@ type FlightRecord struct {
 
 // Dump snapshots the event stream for drone into a FlightRecord tagged
 // with trigger, archives it in the recorder's bounded record list, and
-// returns it. meta may be nil. Dump is a cold path — it allocates freely.
+// returns it. meta may be nil. Dump is a cold path — it allocates freely,
+// but the record it produces must be replay-identical.
+//
+//vet:detpath black-box dumps are compared bit-for-bit across replays
 func (r *Recorder) Dump(drone Key, trigger string, meta map[string]float64) FlightRecord {
 	if r == nil || !enabled.Load() {
 		return FlightRecord{Trigger: trigger}
@@ -65,6 +68,8 @@ func (r *Recorder) Dump(drone Key, trigger string, meta map[string]float64) Flig
 
 // DecodeEvents resolves the interned keys in a raw event snapshot to
 // strings — the form HTTP trace endpoints and CLIs render.
+//
+//vet:detpath decoded traces must render identically across replays
 func DecodeEvents(events []Event) []RecordEvent { return decodeEvents(events) }
 
 func decodeEvents(events []Event) []RecordEvent {

@@ -42,6 +42,8 @@ func (c *Counter) Sharded() *ShardedCount { return &ShardedCount{c: c} }
 // Inc adds one to the cell selected by hint. Safe for any number of
 // concurrent callers; callers that pass a stable, distinct hint (their
 // PID, worker index) get a private cache line.
+//
+//vet:hotpath lock-free metric shard: one padded atomic add
 func (s *ShardedCount) Inc(hint int) {
 	if !enabled.Load() {
 		return
