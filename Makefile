@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet androne-vet vet-ip vet-effects vet-smoke sim telemetry fleet scale-smoke fuzz cover check clean
+.PHONY: all build test race vet androne-vet vet-ip vet-effects vet-smoke sim telemetry fleet equivalence fleet10k-smoke scale-smoke fuzz cover check clean
 
 all: build
 
@@ -60,7 +60,7 @@ vet-ip:
 # injection".
 sim: build
 	@for s in survey-baseline multi-tenant breach-loiter motor-degraded \
-	          squall lossy-gcs revoked-midflight save-restore; do \
+	          squall lossy-gcs revoked-midflight save-restore duty-cycle; do \
 		$(GO) run ./cmd/androne-sim -quiet -scenario $$s || exit 1; \
 		echo "scenario $$s: invariants held"; \
 	done
@@ -91,7 +91,23 @@ telemetry: build
 FLEET_DRONES ?= 16
 fleet:
 	ANDRONE_FLEET_DRONES=$(FLEET_DRONES) $(GO) test -race -count=1 \
-		-run 'TestFleetDeterminism' ./internal/fleet
+		-run 'TestFleetDeterminism|TestFleetModeEquivalence' ./internal/fleet
+
+# Differential equivalence suite: every builtin and sabotaged scenario in
+# event-driven mode must produce bit-identical traces, violations, and
+# tick counts to the lockstep oracle, across seed variants; plus the
+# bit-exactness test behind the scheduler's bulk leaps. See DESIGN.md
+# "Event-driven scheduling".
+equivalence:
+	$(GO) test -count=1 -run 'TestEventMode' ./internal/simharness
+	$(GO) test -count=1 -run 'TestBulkAdvance' ./internal/core
+	$(GO) test -count=1 ./internal/sched
+
+# Reduced fleet10k gate: event-driven fleet throughput vs lockstep on the
+# one-hour-hold duty-cycle scenario. Enforces the >= 10x per-drone
+# speedup gate and cross-mode trace-hash equality at CI size.
+fleet10k-smoke: build
+	$(GO) run ./cmd/androne-bench -exp fleet10k -fleet10k-smoke
 
 # Abbreviated perf gate for the lock-free hot paths: parallel binder
 # transact at GOMAXPROCS 1 vs 8. On hosts with >= 8 CPUs the 8-CPU run
@@ -106,6 +122,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/mavlink
 	$(GO) test -run='^$$' -fuzz=FuzzTunnelOpen -fuzztime=$(FUZZTIME) ./internal/netem
 	$(GO) test -run='^$$' -fuzz=FuzzVFCStateMachine -fuzztime=$(FUZZTIME) ./internal/mavproxy
+	$(GO) test -run='^$$' -fuzz=FuzzQueueOps -fuzztime=$(FUZZTIME) ./internal/sched
 
 # Coverage ratchet: total statement coverage must not drop below the floor
 # recorded in coverage-baseline.txt. Raise the floor when coverage grows.
@@ -118,7 +135,7 @@ cover:
 		{ echo "total coverage $$total% fell below the $$floor% floor"; exit 1; }
 
 # Everything CI enforces, in CI's order.
-check: build vet vet-ip test race sim telemetry fleet scale-smoke fuzz
+check: build vet vet-ip test race sim telemetry equivalence fleet fleet10k-smoke scale-smoke fuzz
 
 clean:
 	$(GO) clean ./...

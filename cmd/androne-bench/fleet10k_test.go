@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"androne/internal/simharness"
+)
+
+func TestFleet10kScenario(t *testing.T) {
+	sc := fleet10kScenario()
+	if sc.Name != "duty-cycle-3600" || sc.HoldBeforeS != 3600 || sc.HoldAfterS != 60 {
+		t.Fatalf("unexpected bench scenario: %+v", sc)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The tick budget must cover both holds plus the flight, or the run
+	// aborts mid-scenario and the comparison is meaningless.
+	if need := int((sc.HoldBeforeS+sc.HoldAfterS)/simharness.TickS) + 2000; sc.MaxTicks < need {
+		t.Fatalf("MaxTicks %d cannot cover the holds (need >= %d)", sc.MaxTicks, need)
+	}
+	// ByName hands out copies: mutating the bench variant must not leak
+	// into the builtin the differential suite runs.
+	if base := simharness.ByName("duty-cycle"); base.HoldBeforeS != 600 {
+		t.Fatalf("fleet10kScenario mutated the duty-cycle builtin: hold %v", base.HoldBeforeS)
+	}
+}
+
+// TestFleet10kPipeline runs the full experiment — both legs, the hash
+// cross-check, the speedup gate, the JSON document — on a shrunken
+// duty cycle so it finishes in seconds. The gate is the real one: event
+// mode must beat lockstep by >= 10x per drone even at this size.
+func TestFleet10kPipeline(t *testing.T) {
+	sc := simharness.ByName("duty-cycle")
+	sc.Name = "duty-cycle-test"
+	sc.HoldBeforeS = 2400
+	sc.HoldAfterS = 30
+	sc.MaxTicks = 28000
+
+	out := filepath.Join(t.TempDir(), "fleet10k.json")
+	err := fleet10k(fleet10kOpts{
+		out: out, seed: "fleet10k-test",
+		eventDrones: 3, lockDrones: 1, workers: 2, sc: sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc fleet10kDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Scenario != "duty-cycle-test" || doc.Workers != 2 {
+		t.Errorf("doc header: scenario %q workers %d", doc.Scenario, doc.Workers)
+	}
+	if !doc.Lockstep.AllPassed || !doc.Event.AllPassed {
+		t.Error("a leg reported failing drones")
+	}
+	if doc.Lockstep.Drones != 1 || doc.Event.Drones != 3 {
+		t.Errorf("leg sizes: lockstep %d event %d", doc.Lockstep.Drones, doc.Event.Drones)
+	}
+	if doc.HashesCrossChecked < 1 {
+		t.Error("no shared-seed drones were hash-checked across modes")
+	}
+	if doc.SpeedupPerDrone < 10 {
+		t.Errorf("speedup %.1fx below the 10x gate", doc.SpeedupPerDrone)
+	}
+	if doc.Lockstep.WallMS <= 0 || doc.Event.WallMS <= 0 || doc.Event.SimSecsPerSec <= 0 {
+		t.Errorf("timing fields not populated: %+v", doc)
+	}
+}

@@ -19,6 +19,13 @@
 // budget, and fleet replay determinism at 1/8/64/256 drones, writing
 // -scale-out (BENCH_scale.json at the repo root is the committed
 // reference). With -scale-smoke it runs the abbreviated CI gate instead.
+//
+// The extra "fleet10k" experiment (also not part of "all") compares
+// event-driven and lockstep fleet throughput on a duty-cycled scenario,
+// cross-checks trace hashes between the modes, and writes -fleet10k-out
+// (BENCH_fleet10k.json at the repo root is the committed reference).
+// With -fleet10k-smoke it runs a reduced CI-sized fleet with the same
+// gates.
 package main
 
 import (
@@ -50,6 +57,9 @@ func main() {
 	baselineOut := flag.String("baseline-out", "", "write the baseline experiment's JSON here")
 	scaleOut := flag.String("scale-out", "", "write the scale experiment's JSON here")
 	scaleSmokeFlag := flag.Bool("scale-smoke", false, "run the abbreviated scale gate for CI instead of the full experiment")
+	fleet10kOut := flag.String("fleet10k-out", "", "write the fleet10k experiment's JSON here")
+	fleet10kDrones := flag.Int("fleet10k-drones", 10000, "event-mode fleet size for the fleet10k experiment")
+	fleet10kSmokeFlag := flag.Bool("fleet10k-smoke", false, "run the reduced fleet10k gate for CI instead of the full experiment")
 	flag.Parse()
 
 	run := map[string]func() error{
@@ -65,6 +75,13 @@ func main() {
 		"sitl":     func() error { return sitlFlight(*seed) },
 		"baseline": func() error { return baseline(*baselineOut, *seed) },
 		"scale":    func() error { return scale(*scaleOut, *seed, *scaleSmokeFlag) },
+		"fleet10k": func() error {
+			o := fleet10kOpts{out: *fleet10kOut, seed: *seed, eventDrones: *fleet10kDrones}
+			if *fleet10kSmokeFlag {
+				o.eventDrones, o.lockDrones = 128, 2
+			}
+			return fleet10k(o)
+		},
 	}
 	names := []string{"table1", "fig10", "fig11", "fig12", "fig13", "net", "gcs", "jitter", "aed", "sitl"}
 

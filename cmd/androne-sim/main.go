@@ -18,6 +18,11 @@
 // hashes, and the run fails if any drone's invariants fail. The same
 // fleet with any -workers value yields identical hashes.
 //
+// With -mode event the harness advances through the deterministic wakeup
+// scheduler instead of stepping every tick, leaping over provably idle
+// stretches — same traces, same hashes, far less wall-clock on
+// duty-cycled scenarios.
+//
 // The tick-stamped event trace goes to stdout; invariant violations go to
 // stderr and make the command exit non-zero — CI and humans share one
 // harness. Every violation report carries the flight recorder's black-box
@@ -48,7 +53,18 @@ func main() {
 	recordDir := flag.String("record-dir", "", "write each FlightRecord of the run to this directory as JSON")
 	fleetN := flag.Int("fleet", 0, "run N independent drone stacks of the scenario (0 = single run)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for -fleet runs")
+	modeName := flag.String("mode", "lockstep", "time-advance mode: lockstep or event (bit-identical results; event leaps idle ticks)")
 	flag.Parse()
+
+	var mode simharness.Mode
+	switch *modeName {
+	case "lockstep":
+		mode = simharness.ModeLockstep
+	case "event":
+		mode = simharness.ModeEvent
+	default:
+		fatal("unknown -mode %q (want lockstep or event)", *modeName)
+	}
 
 	if *list {
 		fmt.Println("builtin scenarios (expected to pass):")
@@ -63,7 +79,7 @@ func main() {
 	}
 
 	if *fleetN > 0 {
-		runFleet(*fleetN, *workers, *name, *seed, *asJSON, *quiet)
+		runFleet(*fleetN, *workers, *name, *seed, mode, *asJSON, *quiet)
 		return
 	}
 
@@ -89,7 +105,7 @@ func main() {
 		sc.Seed = *seed
 	}
 
-	res, err := simharness.RunScenario(sc)
+	res, err := simharness.RunScenarioMode(sc, mode)
 	if err != nil {
 		fatal("%s: %v", sc.Name, err)
 	}
@@ -143,7 +159,7 @@ func fatal(format string, args ...any) {
 
 // runFleet flies the named scenario as an N-drone fleet and prints the
 // per-drone outcomes in drone order.
-func runFleet(drones, workers int, scenario, seed string, asJSON, quiet bool) {
+func runFleet(drones, workers int, scenario, seed string, mode simharness.Mode, asJSON, quiet bool) {
 	if scenario == "" {
 		scenario = "survey-baseline"
 	}
@@ -151,7 +167,7 @@ func runFleet(drones, workers int, scenario, seed string, asJSON, quiet bool) {
 		seed = "fleet-1"
 	}
 	sum, err := fleet.Run(fleet.Config{
-		Drones: drones, Workers: workers, Seed: seed, Scenario: scenario,
+		Drones: drones, Workers: workers, Seed: seed, Scenario: scenario, Mode: mode,
 	})
 	if err != nil {
 		fatal("%v", err)

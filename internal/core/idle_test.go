@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"androne/internal/geo"
+	"androne/internal/mavlink"
+)
+
+var idleHome = geo.Position{LatLon: geo.LatLon{Lat: 43.6084298, Lon: -85.8110359}, Alt: 0}
+
+// TestBulkAdvanceMatchesLockstepParked is the bit-exactness contract
+// behind the event runner's leaps: over a parked, disarmed drone,
+// BulkAdvanceTicks(n) must land on state indistinguishable from n real
+// StepSeconds ticks — accumulators bit-equal, fingerprint unchanged, and
+// a subsequent flight bit-identical (which would catch any 50 Hz GPS
+// phase desync from the replayed loop counter).
+func TestBulkAdvanceMatchesLockstepParked(t *testing.T) {
+	a, err := NewDrone(idleHome, "idle-exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDrone(idleHome, "idle-exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const tick = 0.1
+	step := func(d *Drone, n int) {
+		for i := 0; i < n; i++ {
+			d.StepSeconds(tick)
+		}
+	}
+
+	// Warm both identically until the fingerprint is stable.
+	step(a, 2)
+	step(b, 2)
+	if !a.IdleEligible() {
+		t.Fatal("fresh drone not idle-eligible")
+	}
+	fp := a.IdleFingerprint()
+	step(a, 1)
+	step(b, 1)
+	if got := a.IdleFingerprint(); got != fp {
+		t.Fatalf("fingerprint not stable while parked: %#x then %#x", fp, got)
+	}
+
+	// a pays for every tick; b leaps.
+	const n = 6000 // 10 minutes of sim time
+	step(a, n)
+	b.BulkAdvanceTicks(n, 40)
+
+	if ae, be := a.Sim.EnergyUsedJ(), b.Sim.EnergyUsedJ(); ae != be {
+		t.Errorf("energy diverged: lockstep %v (%#x) bulk %v (%#x)",
+			ae, math.Float64bits(ae), be, math.Float64bits(be))
+	}
+	if at, bt := a.Sim.Now(), b.Sim.Now(); !at.Equal(bt) {
+		t.Errorf("sim clock diverged: lockstep %v bulk %v", at, bt)
+	}
+	if af, bf := a.IdleFingerprint(), b.IdleFingerprint(); af != bf {
+		t.Errorf("fingerprint diverged: lockstep %#x bulk %#x", af, bf)
+	}
+	if at, bt := a.Tel.Tick(), b.Tel.Tick(); at != bt {
+		t.Errorf("recorder tick diverged: lockstep %d bulk %d", at, bt)
+	}
+
+	// Fly both: any hidden divergence (GPS phase, estimator, battery)
+	// shows up as a position split within a few hundred fast steps.
+	for _, d := range []*Drone{a, b} {
+		if err := d.FC.SetModeNum(mavlink.ModeGuided); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.FC.Arm(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.FC.Takeoff(TransitAltM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		step(a, 1)
+		step(b, 1)
+		pa, pb := a.Sim.Position(), b.Sim.Position()
+		if pa != pb {
+			t.Fatalf("flight diverged at post-leap tick %d: %+v vs %+v", i, pa, pb)
+		}
+	}
+	if a.Sim.AltitudeAGL() < 1 {
+		t.Fatalf("drones never lifted off (alt %.2f); divergence check vacuous", a.Sim.AltitudeAGL())
+	}
+}

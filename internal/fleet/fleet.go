@@ -46,6 +46,16 @@ type Config struct {
 	// Scenario names the simharness builtin each drone flies
 	// (default "survey-baseline").
 	Scenario string
+	// Mode is the simharness time-advance mode every drone runs under:
+	// lockstep (default) steps every tick, event leaps provably idle
+	// ticks. Mode must never change results — only wall-clock — so the
+	// fleet tests replay the same fleet across modes and require
+	// identical per-drone trace hashes.
+	Mode simharness.Mode
+	// Custom, when set, is the scenario to fly instead of resolving
+	// Scenario by name — the bench's long-hold duty-cycle variant. It is
+	// cloned per drone like a builtin.
+	Custom *simharness.Scenario
 }
 
 // DroneResult is one drone's outcome, hash included.
@@ -150,8 +160,10 @@ func Run(cfg Config) (*Summary, error) {
 	if name == "" {
 		name = "survey-baseline"
 	}
-	base := simharness.ByName(name)
-	if base == nil {
+	base := cfg.Custom
+	if base != nil {
+		name = base.Name
+	} else if base = simharness.ByName(name); base == nil {
 		return nil, fmt.Errorf("fleet: unknown scenario %q", name)
 	}
 	seed := cfg.Seed
@@ -177,7 +189,7 @@ func Run(cfg Config) (*Summary, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				sum.Results[i] = runOne(base, seed, i)
+				sum.Results[i] = runOne(base, seed, i, cfg.Mode)
 			}
 		}()
 	}
@@ -192,7 +204,7 @@ func Run(cfg Config) (*Summary, error) {
 // runOne builds and flies one drone's private stack.
 //
 //vet:detpath one drone's run must replay identically under any scheduling
-func runOne(base *simharness.Scenario, fleetSeed string, i int) DroneResult {
+func runOne(base *simharness.Scenario, fleetSeed string, i int, mode simharness.Mode) DroneResult {
 	dr := DroneResult{Index: i, Seed: DroneSeed(fleetSeed, i)}
 	sc, err := cloneScenario(base)
 	if err != nil {
@@ -200,7 +212,7 @@ func runOne(base *simharness.Scenario, fleetSeed string, i int) DroneResult {
 		return dr
 	}
 	sc.Seed = dr.Seed
-	res, err := simharness.RunScenario(sc)
+	res, err := simharness.RunScenarioMode(sc, mode)
 	if err != nil {
 		dr.Err = err.Error()
 		return dr

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"androne/internal/simharness"
+)
+
+// eventParallel mirrors TestFleetDeterminism's worker choice: force real
+// interleaving even on small hosts.
+func eventParallel() int {
+	p := runtime.NumCPU()
+	if p < 4 {
+		p = 4
+	}
+	return p
+}
+
+// TestFleetDeterminismEvent replays event-mode fleets across worker
+// counts at several scales: the scheduler's leaps must be as replayable
+// as lockstep stepping. duty-cycle is the scenario because its long
+// ground holds are where event mode actually diverges from a disguised
+// lockstep — every drone leaps thousands of ticks per run.
+func TestFleetDeterminismEvent(t *testing.T) {
+	sizes := []int{1, 8, 64, 256}
+	if raceBuild || testing.Short() {
+		sizes = []int{1, 8}
+	}
+	for _, n := range sizes {
+		n := n
+		t.Run(fmt.Sprintf("drones-%d", n), func(t *testing.T) {
+			serial, err := Run(Config{Drones: n, Workers: 1, Seed: "replay-ev",
+				Scenario: "duty-cycle", Mode: simharness.ModeEvent})
+			if err != nil {
+				t.Fatal(err)
+			}
+			concurrent, err := Run(Config{Drones: n, Workers: eventParallel(), Seed: "replay-ev",
+				Scenario: "duty-cycle", Mode: simharness.ModeEvent})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !serial.Passed() {
+				for _, r := range serial.Results {
+					if r.Err != "" || !r.Passed {
+						t.Errorf("serial drone %d: err=%q violations=%d", r.Index, r.Err, r.Violations)
+					}
+				}
+				t.Fatalf("serial event fleet of %d did not pass", n)
+			}
+			sh, ch := serial.Hashes(), concurrent.Hashes()
+			for i := range sh {
+				if sh[i] != ch[i] {
+					t.Errorf("drone %d trace hash differs across worker counts: %s vs %s",
+						i, sh[i][:12], ch[i][:12])
+				}
+			}
+		})
+	}
+}
+
+// TestFleetModeEquivalence is the fleet-level leg of the differential
+// contract: the same fleet run in lockstep (serial) and event mode
+// (concurrent) must produce the identical per-drone hash sequence —
+// mode and worker count varied together, results bit-equal.
+func TestFleetModeEquivalence(t *testing.T) {
+	n := 8
+	if raceBuild || testing.Short() {
+		n = 3
+	}
+	lock, err := Run(Config{Drones: n, Workers: 1, Seed: "mixed-1",
+		Scenario: "duty-cycle", Mode: simharness.ModeLockstep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Run(Config{Drones: n, Workers: eventParallel(), Seed: "mixed-1",
+		Scenario: "duty-cycle", Mode: simharness.ModeEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh, eh := lock.Hashes(), ev.Hashes()
+	for i := range lh {
+		if lh[i] != eh[i] {
+			t.Errorf("drone %d: lockstep hash %s != event hash %s", i, lh[i][:12], eh[i][:12])
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package fleet
+
+// raceBuild trims the event-mode fleet matrix under the race detector
+// (each run is ~10x slower there; see fleet_event_test.go).
+const raceBuild = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package fleet
+
+// Race builds run a trimmed event-mode fleet matrix; see race_off_test.go.
+const raceBuild = true

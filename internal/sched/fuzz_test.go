@@ -1,0 +1,242 @@
+// Fuzz target for the wakeup queue: the fuzzer explores op streams
+// (schedule, cancel live, cancel stale, reschedule live, reschedule
+// stale, pop, pop-due) and the interpreter checks the queue against the
+// model oracle after every op, then drains both and requires the exact
+// same firing sequence. Seed corpus lives in testdata/fuzz/FuzzQueueOps.
+
+package sched_test
+
+import (
+	"testing"
+
+	"androne/internal/sched"
+)
+
+// modelWakeup is one outstanding wakeup in the oracle.
+type modelWakeup struct {
+	w   sched.Wakeup
+	seq uint64
+	id  sched.ID
+}
+
+// model is the oracle: an unsorted slice with linear-scan min. Too slow
+// to ship, simple enough to be obviously correct.
+type model struct {
+	live []modelWakeup
+	seq  uint64
+}
+
+func (m *model) schedule(w sched.Wakeup, id sched.ID) {
+	m.seq++
+	m.live = append(m.live, modelWakeup{w: w, seq: m.seq, id: id})
+}
+
+func (m *model) find(id sched.ID) int {
+	for i := range m.live {
+		if m.live[i].id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *model) cancel(id sched.ID) bool {
+	i := m.find(id)
+	if i < 0 {
+		return false
+	}
+	m.live = append(m.live[:i], m.live[i+1:]...)
+	return true
+}
+
+func (m *model) reschedule(id sched.ID, due uint64) bool {
+	i := m.find(id)
+	if i < 0 {
+		return false
+	}
+	m.seq++
+	m.live[i].w.Due = due
+	m.live[i].seq = m.seq
+	return true
+}
+
+// minIndex returns the index of the earliest (due, seq) wakeup, -1 when
+// empty.
+func (m *model) minIndex() int {
+	best := -1
+	for i := range m.live {
+		if best < 0 ||
+			m.live[i].w.Due < m.live[best].w.Due ||
+			(m.live[i].w.Due == m.live[best].w.Due && m.live[i].seq < m.live[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (m *model) pop() (modelWakeup, bool) {
+	i := m.minIndex()
+	if i < 0 {
+		return modelWakeup{}, false
+	}
+	mw := m.live[i]
+	m.live = append(m.live[:i], m.live[i+1:]...)
+	return mw, true
+}
+
+// applyOps interprets data as an op stream against both implementations.
+// Byte layout per op: opcode, then the operands that opcode needs; the
+// stream ends when operands run out.
+func applyOps(t *testing.T, data []byte) {
+	t.Helper()
+	q := sched.New()
+	m := &model{}
+	var live []sched.ID  // IDs both sides believe outstanding
+	var stale []sched.ID // IDs that have fired or been canceled
+
+	take := func(i *int, n int) ([]byte, bool) {
+		if *i+n > len(data) {
+			return nil, false
+		}
+		b := data[*i : *i+n]
+		*i += n
+		return b, true
+	}
+
+	for i := 0; i < len(data); {
+		op := data[i] % 8
+		i++
+		switch op {
+		case 0, 1: // schedule
+			b, ok := take(&i, 4)
+			if !ok {
+				return
+			}
+			w := sched.Wakeup{
+				Due:  uint64(b[0])<<8 | uint64(b[1]),
+				Kind: b[2] % 8,
+				Arg:  uint64(b[3]),
+			}
+			id := q.Schedule(w.Due, w.Kind, w.Arg)
+			if id == 0 {
+				t.Fatal("Schedule returned the zero ID")
+			}
+			m.schedule(w, id)
+			live = append(live, id)
+		case 2: // cancel a live wakeup
+			b, ok := take(&i, 1)
+			if !ok || len(live) == 0 {
+				continue
+			}
+			j := int(b[0]) % len(live)
+			id := live[j]
+			if got, want := q.Cancel(id), m.cancel(id); got != want || !got {
+				t.Fatalf("Cancel(live %d) = %v, model %v", id, got, want)
+			}
+			live = append(live[:j], live[j+1:]...)
+			stale = append(stale, id)
+		case 3: // cancel a stale ID: must be an exact miss
+			b, ok := take(&i, 1)
+			if !ok || len(stale) == 0 {
+				continue
+			}
+			id := stale[int(b[0])%len(stale)]
+			if q.Cancel(id) {
+				t.Fatalf("Cancel(stale %d) = true", id)
+			}
+			if m.find(id) >= 0 {
+				t.Fatalf("model still holds stale ID %d", id)
+			}
+		case 4: // reschedule a live wakeup
+			b, ok := take(&i, 3)
+			if !ok || len(live) == 0 {
+				continue
+			}
+			id := live[int(b[0])%len(live)]
+			due := uint64(b[1])<<8 | uint64(b[2])
+			if got, want := q.Reschedule(id, due), m.reschedule(id, due); got != want || !got {
+				t.Fatalf("Reschedule(live %d) = %v, model %v", id, got, want)
+			}
+		case 5: // reschedule a stale ID: must be an exact miss
+			b, ok := take(&i, 1)
+			if !ok || len(stale) == 0 {
+				continue
+			}
+			id := stale[int(b[0])%len(stale)]
+			if q.Reschedule(id, 1) {
+				t.Fatalf("Reschedule(stale %d) = true", id)
+			}
+		case 6: // pop the minimum
+			w, ok := q.Pop()
+			mw, mok := m.pop()
+			if ok != mok || w != mw.w {
+				t.Fatalf("Pop = %+v ok=%v, model %+v ok=%v", w, ok, mw.w, mok)
+			}
+			if ok {
+				live = dropID(live, mw.id)
+				stale = append(stale, mw.id)
+			}
+		case 7: // pop-due at a horizon
+			b, ok := take(&i, 2)
+			if !ok {
+				return
+			}
+			now := uint64(b[0])<<8 | uint64(b[1])
+			w, ok := q.PopDue(now)
+			var mw modelWakeup
+			mok := false
+			if j := m.minIndex(); j >= 0 && m.live[j].w.Due <= now {
+				mw, mok = m.pop()
+			}
+			if ok != mok || (ok && w != mw.w) {
+				t.Fatalf("PopDue(%d) = %+v ok=%v, model %+v ok=%v", now, w, ok, mw.w, mok)
+			}
+			if ok {
+				live = dropID(live, mw.id)
+				stale = append(stale, mw.id)
+			}
+		}
+		if q.Len() != len(m.live) {
+			t.Fatalf("Len = %d, model holds %d", q.Len(), len(m.live))
+		}
+	}
+
+	// Drain both sides: every surviving wakeup must fire exactly once, in
+	// (due, insertion) order, with its payload intact.
+	for {
+		w, ok := q.Pop()
+		mw, mok := m.pop()
+		if ok != mok {
+			t.Fatalf("drain: queue ok=%v, model ok=%v", ok, mok)
+		}
+		if !ok {
+			break
+		}
+		if w != mw.w {
+			t.Fatalf("drain: queue fired %+v, model %+v", w, mw.w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue reports Len=%d after drain", q.Len())
+	}
+}
+
+func dropID(ids []sched.ID, id sched.ID) []sched.ID {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+func FuzzQueueOps(f *testing.F) {
+	// A hand-picked interleaving of every opcode, plus degenerate streams;
+	// the checked-in corpus under testdata/fuzz extends these.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 5, 1, 7, 0, 0, 5, 2, 9, 6, 2, 0, 3, 0, 7, 0, 9})
+	f.Add([]byte{1, 0, 1, 0, 1, 1, 0, 1, 1, 2, 4, 0, 0, 3, 2, 0, 3, 0, 5, 0, 6, 6, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		applyOps(t, data)
+	})
+}

@@ -6,10 +6,10 @@ import (
 	"androne/internal/apps"
 )
 
-// Builtins returns the canonical scenario set: eight end-to-end flights
-// covering the paper's claims under nominal conditions and under every
-// fault class the harness injects. All are expected to pass their
-// invariant checkers.
+// Builtins returns the canonical scenario set: nine end-to-end flights
+// covering the paper's claims under nominal conditions, under every
+// fault class the harness injects, and under a duty-cycled idle/fly
+// profile. All are expected to pass their invariant checkers.
 func Builtins() []*Scenario {
 	return []*Scenario{
 		surveyBaseline(),
@@ -20,6 +20,7 @@ func Builtins() []*Scenario {
 		lossyGCS(),
 		revokedMidflight(),
 		saveRestoreMidMission(),
+		dutyCycle(),
 	}
 }
 
@@ -173,6 +174,26 @@ func revokedMidflight() *Scenario {
 			Kind: FaultRevoke, Target: "shots", From: "dwell", AtS: 0.5,
 			Permission: "camera",
 		}},
+	}
+}
+
+// dutyCycle is the fleet-at-scale profile: a long parked hold before a
+// short flight, then a post-landing hold. Lockstep pays 40 fast-loop
+// steps for every parked tick; the event-driven runner leaps the holds,
+// which is where the fleet10k speedup comes from. Both modes must still
+// produce bit-identical traces (the differential suite runs this one
+// like any other builtin).
+func dutyCycle() *Scenario {
+	return &Scenario{
+		Name: "duty-cycle",
+		Seed: "duty-cycle-1",
+		Drones: []DroneSpec{{
+			Name: "sentry", Owner: "city",
+			Apps:      []string{apps.PhotoPackage},
+			Waypoints: []WaypointSpec{{NorthM: 40, AltM: 12, RadiusM: 40, DwellS: 4}},
+		}},
+		HoldBeforeS: 600,
+		HoldAfterS:  30,
 	}
 }
 

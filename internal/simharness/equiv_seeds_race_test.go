@@ -1,0 +1,6 @@
+//go:build race
+
+package simharness
+
+// Race builds run a trimmed seed sweep; see equiv_seeds_test.go.
+const equivSeeds = 2

@@ -1,0 +1,9 @@
+//go:build !race
+
+package simharness
+
+// equivSeeds is how many seed variants the differential equivalence
+// suite runs per scenario. Race builds trim it (equiv_seeds_race_test.go)
+// — the race detector makes each run ~10x slower and one seed already
+// exercises every code path; the full seed sweep runs in the plain build.
+const equivSeeds = 4

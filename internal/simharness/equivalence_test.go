@@ -1,0 +1,172 @@
+package simharness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// violationLines renders violations the way the determinism hash sees
+// them: one String() line per violation.
+func violationLines(r *Result) string {
+	var b strings.Builder
+	for _, v := range r.Violations {
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// firstDiff returns the first differing line between two multi-line
+// strings, for readable failure output.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var la, lb string
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if la != lb {
+			return fmt.Sprintf("line %d:\n  lockstep: %q\n  event:    %q", i+1, la, lb)
+		}
+	}
+	return "no differing line (lengths differ?)"
+}
+
+// TestEventModeEquivalence is the differential suite: every builtin and
+// sabotaged scenario, across seed variants, must produce bit-identical
+// results in event-driven mode and lockstep mode — same trace, same
+// violations, same tick count, same sim duration. Lockstep is the
+// oracle; any divergence is a bug in the event scheduler's leap logic.
+func TestEventModeEquivalence(t *testing.T) {
+	scens := append(Builtins(), Sabotaged()...)
+	for _, base := range scens {
+		base := base
+		t.Run(base.Name, func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < equivSeeds; i++ {
+				seed := base.Seed
+				if i > 0 {
+					seed = fmt.Sprintf("%s-eq%d", base.Seed, i)
+				}
+				lockSC := *base
+				lockSC.Seed = seed
+				lock, err := RunScenarioMode(&lockSC, ModeLockstep)
+				if err != nil {
+					t.Fatalf("seed %q lockstep: %v", seed, err)
+				}
+				evSC := *base
+				evSC.Seed = seed
+				ev, err := RunScenarioMode(&evSC, ModeEvent)
+				if err != nil {
+					t.Fatalf("seed %q event: %v", seed, err)
+				}
+
+				if lock.Ticks != ev.Ticks {
+					t.Errorf("seed %q: ticks diverged: lockstep %d event %d",
+						seed, lock.Ticks, ev.Ticks)
+				}
+				if lock.SimSeconds != ev.SimSeconds {
+					t.Errorf("seed %q: sim seconds diverged: lockstep %v event %v",
+						seed, lock.SimSeconds, ev.SimSeconds)
+				}
+				if lt, et := lock.Trace(), ev.Trace(); lt != et {
+					t.Errorf("seed %q: trace diverged at %s", seed, firstDiff(lt, et))
+				}
+				if lv, evv := violationLines(lock), violationLines(ev); lv != evv {
+					t.Errorf("seed %q: violations diverged at %s", seed, firstDiff(lv, evv))
+				}
+			}
+		})
+	}
+}
+
+// TestEventModeLeapsDutyCycle guards against the equivalence suite
+// passing vacuously: the event runner must actually be event-driven, not
+// a lockstep clone. The duty-cycle scenario holds parked for 10 minutes;
+// if the run completes with bit-identical results (checked above), the
+// only way it can also be cheap is if the holds were leapt. Here we just
+// pin the structural signal: the scenario's tick count covers the holds.
+func TestEventModeLeapsDutyCycle(t *testing.T) {
+	res, err := RunScenarioMode(dutyCycle(), ModeEvent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("duty-cycle violated invariants: %v", res.Violations)
+	}
+	if min := holdTicks(600); res.Ticks < min {
+		t.Fatalf("duty-cycle ran %d ticks; pre-flight hold alone is %d", res.Ticks, min)
+	}
+}
+
+// TestEventModeFaultDuringHold aims two faults into the post-flight
+// ground hold — one anchored on liftoff, one on the first dwell grant —
+// so the event runner must schedule fault wakeups mid-hold, step the
+// squall (a parked drone in wind is not idle), and resume leaping after
+// it expires, all while staying bit-identical to lockstep. This is the
+// hardest equivalence case: a missing or misplaced wakeup fires the
+// fault on the wrong tick and diverges the trace.
+func TestEventModeFaultDuringHold(t *testing.T) {
+	base := ByName("duty-cycle")
+	sc := *base
+	sc.Name = "duty-cycle-squall-hold"
+	sc.Seed = "squall-hold-1"
+	sc.HoldBeforeS = 30
+	sc.HoldAfterS = 180
+	sc.Faults = []Fault{
+		{Kind: FaultWind, From: "start", AtS: 150, WindN: 6, WindE: -4, GustStd: 1.5, WindForS: 20},
+		{Kind: FaultWind, From: "dwell", AtS: 120, WindN: -3, WindE: 5, GustStd: 1.0, WindForS: 10},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	lockSC, evSC := sc, sc
+	lock, err := RunScenarioMode(&lockSC, ModeLockstep)
+	if err != nil {
+		t.Fatalf("lockstep: %v", err)
+	}
+	ev, err := RunScenarioMode(&evSC, ModeEvent)
+	if err != nil {
+		t.Fatalf("event: %v", err)
+	}
+
+	if lock.Ticks != ev.Ticks {
+		t.Errorf("ticks: lockstep %d, event %d", lock.Ticks, ev.Ticks)
+	}
+	if lt, et := lock.Trace(), ev.Trace(); lt != et {
+		t.Errorf("traces differ: %s", firstDiff(lt, et))
+	}
+	if lv, evl := violationLines(lock), violationLines(ev); lv != evl {
+		t.Errorf("violations differ: %s", firstDiff(lv, evl))
+	}
+
+	// Non-vacuity: both squalls actually fired, and after the flight was
+	// over — i.e. inside the post-landing hold, where only a scheduled
+	// wakeup can place them.
+	landed := -1
+	var faults []int
+	for _, e := range lock.Events {
+		switch e.Kind {
+		case "landed":
+			landed = e.Tick
+		case "fault":
+			faults = append(faults, e.Tick)
+		}
+	}
+	if landed < 0 {
+		t.Fatal("no landed event in lockstep trace")
+	}
+	if len(faults) != 2 {
+		t.Fatalf("want 2 fault events, got %d", len(faults))
+	}
+	for _, ft := range faults {
+		if ft <= landed {
+			t.Errorf("fault at tick %d fired before landing (tick %d); not a during-hold fault", ft, landed)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"androne/internal/mavlink"
 	"androne/internal/mavproxy"
 	"androne/internal/netem"
+	"androne/internal/sched"
 	"androne/internal/sdk"
 	"androne/internal/telemetry"
 )
@@ -135,6 +136,12 @@ type Runner struct {
 	pilotN   int
 
 	sabotageAllotment bool
+
+	// Event-driven mode state (zero in lockstep; see runner_event.go).
+	mode     Mode
+	queue    *sched.Queue
+	lastFP   uint64
+	fpStable bool
 }
 
 // NewRunner builds the full stack for a scenario: drone, cloud environment,
@@ -674,6 +681,11 @@ func (r *Runner) Run() (*Result, error) {
 		maxTicks = 12000
 	}
 
+	if r.sc.HoldBeforeS > 0 {
+		r.hold(r.sc.HoldBeforeS)
+		r.event("hold", "", fmt.Sprintf("pre-flight ground hold %.0fs", r.sc.HoldBeforeS))
+	}
+
 	if err := r.takeoff(); err != nil {
 		return nil, err
 	}
@@ -692,6 +704,12 @@ func (r *Runner) Run() (*Result, error) {
 	}
 
 	r.returnHome()
+
+	if r.sc.HoldAfterS > 0 {
+		r.hold(r.sc.HoldAfterS)
+		r.event("hold", "", fmt.Sprintf("post-flight ground hold %.0fs", r.sc.HoldAfterS))
+	}
+
 	r.offloadAndSave()
 
 	for _, c := range r.checkers {
@@ -713,7 +731,7 @@ func (r *Runner) Run() (*Result, error) {
 
 func (r *Runner) takeoff() error {
 	master := r.drone.Proxy.Master().Controller()
-	r.stepTick() // let the estimator acquire a fix
+	r.tickOnce(wakeTakeoff) // let the estimator acquire a fix
 	if err := master.SetModeNum(mavlink.ModeGuided); err != nil {
 		return err
 	}
@@ -724,7 +742,7 @@ func (r *Runner) takeoff() error {
 		return err
 	}
 	for i := 0; i < int(60/TickS); i++ {
-		r.stepTick()
+		r.tickOnce(wakeTakeoff)
 		if r.drone.Sim.AltitudeAGL() > core.TransitAltM-0.6 {
 			break
 		}
@@ -771,7 +789,7 @@ func (r *Runner) visit(name string, idx int) error {
 	timeout := dist/2 + 30
 	reached := false
 	for elapsed := 0.0; elapsed < timeout; elapsed += TickS {
-		r.stepTick()
+		r.tickOnce(wakeTransit)
 		r.drone.VDC.TickTransit(TickS)
 		if geo.Distance3D(r.drone.Sim.Position(), wp.Position) < 2 {
 			reached = true
@@ -805,7 +823,7 @@ func (r *Runner) visit(name string, idx int) error {
 	lastEnergy := r.drone.Sim.EnergyUsedJ()
 	why := "dwell cap"
 	for elapsed := 0.0; elapsed < dwellCap; elapsed += TickS {
-		r.stepTick()
+		r.tickOnce(wakeDwell)
 		r.drone.VDC.TickActive(name, TickS)
 		energyNow := r.drone.Sim.EnergyUsedJ()
 		exhausted := r.drone.VDC.MeterActive(name, TickS, energyNow-lastEnergy)
@@ -836,7 +854,7 @@ func (r *Runner) returnHome() {
 	}
 	r.event("rtl", "", "returning to launch")
 	for elapsed := 0.0; elapsed < 240; elapsed += TickS {
-		r.stepTick()
+		r.tickOnce(wakeRTL)
 		if r.drone.Sim.OnGround() && !master.Armed() {
 			break
 		}
@@ -891,13 +909,10 @@ func (r *Runner) offloadAndSave() {
 	}
 }
 
-// RunScenario is the one-call entry: build the stack, run, return result.
+// RunScenario is the one-call entry: build the stack, run in lockstep,
+// return the result.
 //
 //vet:detpath scenario runs feed trace hashes and violation rendering
 func RunScenario(sc *Scenario) (*Result, error) {
-	r, err := NewRunner(sc)
-	if err != nil {
-		return nil, err
-	}
-	return r.Run()
+	return RunScenarioMode(sc, ModeLockstep)
 }

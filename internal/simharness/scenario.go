@@ -42,6 +42,16 @@ type Scenario struct {
 	Sabotage string `json:"sabotage,omitempty"`
 	// MaxTicks caps the simulation (0 = default 12000 ticks = 20 min sim).
 	MaxTicks int `json:"max-ticks,omitempty"`
+	// HoldBeforeS parks the drone on the ground for this many sim seconds
+	// before takeoff — the duty-cycle idle an event-driven run leaps over
+	// while lockstep pays for every tick. Hold ticks count against
+	// MaxTicks.
+	HoldBeforeS float64 `json:"hold-before-s,omitempty"`
+	// HoldAfterS parks the drone after landing, before offload and VDR
+	// save. Unlike the pre-takeoff hold, motor thrust and the attitude
+	// estimate decay for a long while after touchdown, so this phase
+	// mostly exercises the event runner's lockstep fallback.
+	HoldAfterS float64 `json:"hold-after-s,omitempty"`
 }
 
 // DroneSpec orders one virtual drone.
@@ -180,6 +190,9 @@ func (s *Scenario) Validate() error {
 	case "", "whitelist", "allotment":
 	default:
 		return fmt.Errorf("simharness: unknown sabotage %q", s.Sabotage)
+	}
+	if s.HoldBeforeS < 0 || s.HoldAfterS < 0 {
+		return fmt.Errorf("simharness: scenario %q: negative ground hold", s.Name)
 	}
 	return nil
 }

@@ -1,0 +1,94 @@
+package sitl
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParkedPredicate exercises every disqualifier: commanded thrust, a
+// pending squall expiry, and an active gust process each make the sim
+// ineligible for bulk advance.
+func TestParkedPredicate(t *testing.T) {
+	s := newSim()
+	run(s, 0.5)
+	if !s.Parked() {
+		t.Fatal("at-rest sim not Parked")
+	}
+
+	s.SetMotors([4]float64{0.1, 0.1, 0.1, 0.1})
+	if s.Parked() {
+		t.Error("Parked with commanded thrust")
+	}
+	s.SetMotors([4]float64{})
+
+	s.SetWindFor(3, 0, 0, 5)
+	if s.Parked() {
+		t.Error("Parked with a pending squall expiry")
+	}
+	run(s, 6) // squall expires; SetWindFor's zero restore clears gustStd
+	if !s.Parked() {
+		t.Fatal("not Parked after squall expired")
+	}
+
+	s.SetWind(0, 0, 1.2)
+	if s.Parked() {
+		t.Error("Parked with an active gust process")
+	}
+}
+
+// TestAdvanceParkedBitExact proves the contract AdvanceParked sells: for
+// a parked sim with a stable fingerprint, leaping n steps lands on state
+// bit-identical to stepping them, including the float accumulation order
+// of the energy integral.
+func TestAdvanceParkedBitExact(t *testing.T) {
+	const dt = 1.0 / 400
+	a, b := newSim(), newSim()
+	run(a, 0.5)
+	run(b, 0.5)
+
+	fp := b.Fingerprint()
+	if fp != b.Fingerprint() {
+		t.Fatal("Fingerprint not deterministic")
+	}
+	b.Step(dt)
+	a.Step(dt)
+	if b.Fingerprint() != fp {
+		t.Fatal("parked fingerprint not stable across a step")
+	}
+
+	const steps = 4000 // 100 harness ticks of 40
+	for i := 0; i < steps; i++ {
+		a.Step(dt)
+	}
+	b.AdvanceParked(0, dt) // no-op guards
+	b.AdvanceParked(-1, dt)
+	b.AdvanceParked(steps, 0)
+	b.AdvanceParked(steps, dt)
+
+	if ae, be := a.EnergyUsedJ(), b.EnergyUsedJ(); ae != be {
+		t.Errorf("energy: stepped %v leapt %v (diff %g)", ae, be, math.Abs(ae-be))
+	}
+	if !a.Now().Equal(b.Now()) {
+		t.Errorf("sim clock: stepped %v leapt %v", a.Now(), b.Now())
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprints diverge after leap")
+	}
+
+	// The leap must be invisible to everything downstream: fly both and
+	// compare trajectories bit-for-bit.
+	f := DefaultParams().HoverThrustFrac()
+	cmd := [4]float64{1.2 * f, 1.2 * f, 1.2 * f, 1.2 * f}
+	a.SetMotors(cmd)
+	b.SetMotors(cmd)
+	for i := 0; i < 800; i++ {
+		a.Step(dt)
+		b.Step(dt)
+		if aa, ba := a.AltitudeAGL(), b.AltitudeAGL(); aa != ba {
+			t.Fatalf("step %d: altitude diverged %v vs %v", i, aa, ba)
+		}
+	}
+	if a.AltitudeAGL() < 1 {
+		t.Fatal("comparison vacuous: drone never left the ground")
+	}
+}

@@ -210,6 +210,16 @@ func (r *Recorder) AdvanceTick() {
 	r.tick.Add(1)
 }
 
+// AdvanceTicks advances the monotonic simulation tick by n at once — the
+// event-driven stepping loop's bulk leap over quiescent ticks. Equivalent
+// to n AdvanceTick calls with no events in between.
+func (r *Recorder) AdvanceTicks(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.tick.Add(uint64(n))
+}
+
 // Tick returns the current simulation tick.
 func (r *Recorder) Tick() uint64 {
 	if r == nil {
