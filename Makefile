@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet androne-vet vet-ip vet-effects vet-smoke sim telemetry fleet equivalence fleet10k-smoke scale-smoke fuzz cover check clean
+.PHONY: all build test race vet androne-vet vet-ip vet-effects vet-locks vet-smoke vet-stale sim telemetry fleet equivalence fleet10k-smoke scale-smoke fuzz cover check clean
 
 all: build
 
@@ -24,35 +24,56 @@ vet: androne-vet
 
 # The androne-specific static-analysis suite: lock discipline, binder
 # namespace isolation, VFC whitelist boundary, service-plane deadlines,
-# timer hygiene, the interprocedural security analyzers, and the
-# effect-summary contract analyzers (detguard, hotpath). See DESIGN.md
+# timer hygiene, the interprocedural security analyzers, the
+# effect-summary contract analyzers (detguard, hotpath), and the
+# concurrency-liveness pair (lockorder, waitleak). The committed
+# VET_BASELINE.json gates total wall-clock at 3x, and the stale-allows
+# audit fails on suppressions nothing fires on anymore. See DESIGN.md
 # "Static analysis & concurrency invariants".
 androne-vet:
-	$(GO) run ./cmd/androne-vet ./...
+	$(GO) run ./cmd/androne-vet -budget-file VET_BASELINE.json ./...
+
+# Suppression audit: every //vet:allow must still have an active analyzer
+# firing on its line — dead suppressions are removed, not accumulated.
+vet-stale:
+	$(GO) run ./cmd/androne-vet -stale-allows ./...
 
 # The effect-summary contract subset alone: determinism of //vet:detpath
 # call trees (detguard) and allocation/lock freedom of //vet:hotpath call
 # trees (hotpath). See DESIGN.md "Effect summaries & contract analyzers".
 vet-effects:
 	$(GO) run ./cmd/androne-vet -ctxtimeout=false -errflow=false \
-		-locksafe=false -nsguard=false -permguard=false -sendertaint=false \
-		-tickleak=false -whitelistguard=false ./...
+		-lockorder=false -locksafe=false -nsguard=false -permguard=false \
+		-sendertaint=false -tickleak=false -waitleak=false \
+		-whitelistguard=false ./...
+
+# The concurrency-liveness pair alone, built on the lock-set engine:
+# deadlock freedom plus the flight-critical blocking contract (lockorder)
+# and goroutines that can block forever (waitleak). See DESIGN.md "Lock
+# ordering & goroutine liveness".
+vet-locks:
+	$(GO) run ./cmd/androne-vet -ctxtimeout=false -detguard=false \
+		-errflow=false -hotpath=false -locksafe=false -nsguard=false \
+		-permguard=false -sendertaint=false -tickleak=false \
+		-whitelistguard=false ./...
 
 # Sabotage smoke for the contract analyzers: the fixture suites carry
 # deliberately broken packages whose expected findings ("// want"
 # comments) must all be produced — an analyzer that goes blind fails the
 # test rather than silently passing the repo.
 vet-smoke:
-	$(GO) test -count=1 -run 'TestDetGuard|TestHotPath' \
-		./internal/analysis/detguard ./internal/analysis/hotpath
+	$(GO) test -count=1 -run 'TestDetGuard|TestHotPath|TestLockOrder|TestWaitLeak' \
+		./internal/analysis/detguard ./internal/analysis/hotpath \
+		./internal/analysis/lockorder ./internal/analysis/waitleak
 
 # The interprocedural subset alone (whole-program call graph + dataflow):
 # permission-dominance (permguard), sender-identity taint (sendertaint),
 # and security-relevant error propagation (errflow). See DESIGN.md
 # "Interprocedural analyses".
 vet-ip:
-	$(GO) run ./cmd/androne-vet -ctxtimeout=false -locksafe=false \
-		-nsguard=false -tickleak=false -whitelistguard=false ./...
+	$(GO) run ./cmd/androne-vet -ctxtimeout=false -lockorder=false \
+		-locksafe=false -nsguard=false -tickleak=false -waitleak=false \
+		-whitelistguard=false ./...
 
 # End-to-end scenario harness (internal/simharness): every builtin scenario
 # through the CLI, the JSON examples, and proof that a sabotaged enforcement
@@ -135,7 +156,7 @@ cover:
 		{ echo "total coverage $$total% fell below the $$floor% floor"; exit 1; }
 
 # Everything CI enforces, in CI's order.
-check: build vet vet-ip test race sim telemetry equivalence fleet fleet10k-smoke scale-smoke fuzz
+check: build vet vet-ip vet-locks vet-stale test race sim telemetry equivalence fleet fleet10k-smoke scale-smoke fuzz
 
 clean:
 	$(GO) clean ./...

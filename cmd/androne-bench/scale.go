@@ -163,7 +163,7 @@ func (r *transactRig) segment(workers, totalOps int) float64 {
 			defer wg.Done()
 			tw := r.workers[w]
 			for i := 0; i < iters; i++ {
-				if _, _, err := tw.p.Transact(tw.h, binder.CodeUser, r.payload, nil); err != nil { //vet:allow nsguard the bench measures the raw binder ioctl path itself
+				if _, _, err := tw.p.Transact(tw.h, binder.CodeUser, r.payload, nil); err != nil {
 					panic(err)
 				}
 			}

@@ -1,0 +1,362 @@
+package framework_test
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"testing"
+
+	"androne/internal/analysis/framework"
+)
+
+// lockInfoOf fetches the lock summary for a package-scope function.
+func lockInfoOf(t *testing.T, w *framework.LockWorld, pp *framework.ProgramPackage, name string) *framework.LockFuncInfo {
+	t.Helper()
+	fn, ok := pp.Pkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no func %s in %s", name, pp.Path)
+	}
+	info := w.Info(fn)
+	if info == nil {
+		t.Fatalf("no lock info for %s", name)
+	}
+	return info
+}
+
+// acquires returns the sorted transitive acquire set of a function.
+func acquires(info *framework.LockFuncInfo) []string {
+	var out []string
+	for id := range info.AcquiresTotal {
+		out = append(out, string(id))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// heldAt returns the held set recorded at the i-th local acquisition of lock.
+func heldAt(t *testing.T, info *framework.LockFuncInfo, lock string) []string {
+	t.Helper()
+	for _, a := range info.Acqs {
+		if string(a.Lock) == lock {
+			var out []string
+			for _, h := range a.Held {
+				out = append(out, string(h))
+			}
+			return out
+		}
+	}
+	t.Fatalf("no acquisition of %s", lock)
+	return nil
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const lockHarness = `package locks
+
+import "sync"
+
+type S struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	rw sync.RWMutex
+}
+
+var global sync.Mutex
+`
+
+// TestLockSetJoinAtMerge pins the may-hold union join: a lock taken on one
+// branch of an if/switch is treated as held after the merge, and the held
+// set recorded at a later acquisition includes every branch's locks.
+func TestLockSetJoinAtMerge(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrcStd(t, fset, "locks", lockHarness+`
+func ifJoin(s *S, cond bool) {
+	if cond {
+		s.a.Lock()
+	} else {
+		s.b.Lock()
+	}
+	global.Lock()
+	global.Unlock()
+}
+
+func switchJoin(s *S, n int) {
+	switch n {
+	case 0:
+		s.a.Lock()
+	case 1:
+		s.b.Lock()
+	}
+	global.Lock()
+	global.Unlock()
+}
+
+func balanced(s *S, cond bool) {
+	if cond {
+		s.a.Lock()
+		s.a.Unlock()
+	}
+	global.Lock()
+	global.Unlock()
+}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.LockSets()
+
+	ifInfo := lockInfoOf(t, w, pp, "ifJoin")
+	want := []string{"locks.S.a", "locks.S.b"}
+	if got := heldAt(t, ifInfo, "locks.global"); !eqStrings(got, want) {
+		t.Errorf("ifJoin held at global = %v, want %v", got, want)
+	}
+	swInfo := lockInfoOf(t, w, pp, "switchJoin")
+	if got := heldAt(t, swInfo, "locks.global"); !eqStrings(got, want) {
+		t.Errorf("switchJoin held at global = %v, want %v", got, want)
+	}
+	// A lock released on the branch that took it must not leak past the merge.
+	balInfo := lockInfoOf(t, w, pp, "balanced")
+	if got := heldAt(t, balInfo, "locks.global"); len(got) != 0 {
+		t.Errorf("balanced held at global = %v, want empty", got)
+	}
+}
+
+// TestLockSetDeferUnlock pins defer semantics: defer mu.Unlock() keeps the
+// lock held for the remainder of the walk, so later acquisitions see it.
+func TestLockSetDeferUnlock(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrcStd(t, fset, "locks", lockHarness+`
+func deferred(s *S) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+func eager(s *S) {
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Lock()
+	s.b.Unlock()
+}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.LockSets()
+
+	defInfo := lockInfoOf(t, w, pp, "deferred")
+	if got := heldAt(t, defInfo, "locks.S.b"); !eqStrings(got, []string{"locks.S.a"}) {
+		t.Errorf("deferred held at b = %v, want [locks.S.a]", got)
+	}
+	if e := w.Edge("locks.S.a", "locks.S.b"); e == nil {
+		t.Error("missing edge locks.S.a -> locks.S.b from deferred")
+	}
+	eagInfo := lockInfoOf(t, w, pp, "eager")
+	if got := heldAt(t, eagInfo, "locks.S.b"); len(got) != 0 {
+		t.Errorf("eager held at b = %v, want empty", got)
+	}
+}
+
+// TestLockSetTryLock pins try-acquisition semantics: a TryLock gets no
+// incoming order edge (it cannot block), is held inside the guarded
+// then-branch only for the if-condition form, and still contributes
+// outgoing edges for locks taken under it.
+func TestLockSetTryLock(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrcStd(t, fset, "locks", lockHarness+`
+func try(s *S) {
+	s.a.Lock()
+	if s.b.TryLock() {
+		global.Lock()
+		global.Unlock()
+		s.b.Unlock()
+	}
+	s.a.Unlock()
+}
+
+func after(s *S) {
+	if s.b.TryLock() {
+		s.b.Unlock()
+	}
+	global.Lock()
+	global.Unlock()
+}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.LockSets()
+
+	// No incoming edge into the try-acquired lock...
+	if e := w.Edge("locks.S.a", "locks.S.b"); e != nil {
+		t.Errorf("unexpected edge into try-acquired lock: %+v", e)
+	}
+	// ...but outgoing edges from it are real.
+	if e := w.Edge("locks.S.b", "locks.global"); e == nil {
+		t.Error("missing outgoing edge locks.S.b -> locks.global")
+	}
+	info := lockInfoOf(t, w, pp, "try")
+	if got := heldAt(t, info, "locks.global"); !eqStrings(got, []string{"locks.S.a", "locks.S.b"}) {
+		t.Errorf("held at global = %v, want [locks.S.a locks.S.b]", got)
+	}
+	var tryAcq *framework.LockAcq
+	for i, a := range info.Acqs {
+		if a.Lock == "locks.S.b" {
+			tryAcq = &info.Acqs[i]
+		}
+	}
+	if tryAcq == nil || !tryAcq.Try {
+		t.Fatalf("TryLock acquisition not marked Try: %+v", tryAcq)
+	}
+	// The try-held lock is confined to the then-branch.
+	afterInfo := lockInfoOf(t, w, pp, "after")
+	if got := heldAt(t, afterInfo, "locks.global"); len(got) != 0 {
+		t.Errorf("after: held at global = %v, want empty (try confined to then-branch)", got)
+	}
+}
+
+// TestLockSetInterprocedural pins the bottom-up fixpoint: calling a
+// lock-taking callee while holding a lock yields a transitive order edge
+// with the callee recorded as the via-function, and mutual recursion
+// converges instead of diverging.
+func TestLockSetInterprocedural(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrcStd(t, fset, "locks", lockHarness+`
+func leaf(s *S) {
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+func caller(s *S) {
+	s.a.Lock()
+	leaf(s)
+	s.a.Unlock()
+}
+
+func ping(s *S, n int) {
+	global.Lock()
+	global.Unlock()
+	if n > 0 {
+		pong(s, n-1)
+	}
+}
+
+func pong(s *S, n int) {
+	s.a.Lock()
+	s.a.Unlock()
+	ping(s, n)
+}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.LockSets()
+
+	callerInfo := lockInfoOf(t, w, pp, "caller")
+	if got := acquires(callerInfo); !eqStrings(got, []string{"locks.S.a", "locks.S.b"}) {
+		t.Errorf("caller acquires %v, want [locks.S.a locks.S.b]", got)
+	}
+	e := w.Edge("locks.S.a", "locks.S.b")
+	if e == nil {
+		t.Fatal("missing transitive edge locks.S.a -> locks.S.b")
+	}
+	if e.Via == nil || e.Via.Name() != "leaf" {
+		t.Errorf("edge via = %v, want leaf", e.Via)
+	}
+	if e.AcqFn == nil || e.AcqFn.Name() != "leaf" {
+		t.Errorf("edge acq fn = %v, want leaf", e.AcqFn)
+	}
+
+	// Recursion cutoff: ping and pong each end with both locks, finitely.
+	for _, name := range []string{"ping", "pong"} {
+		info := lockInfoOf(t, w, pp, name)
+		if got := acquires(info); !eqStrings(got, []string{"locks.S.a", "locks.global"}) {
+			t.Errorf("%s acquires %v, want [locks.S.a locks.global]", name, got)
+		}
+	}
+}
+
+// TestLockSetGoroutineAndLiterals pins the concurrency boundaries: a go
+// statement's body runs with an empty held set (no false edge from the
+// spawner's locks), while an immediately-invoked literal inherits the
+// current held set.
+func TestLockSetGoroutineAndLiterals(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrcStd(t, fset, "locks", lockHarness+`
+func spawner(s *S) {
+	s.a.Lock()
+	go func() {
+		s.b.Lock()
+		s.b.Unlock()
+	}()
+	s.a.Unlock()
+}
+
+func iife(s *S) {
+	s.a.Lock()
+	func() {
+		global.Lock()
+		global.Unlock()
+	}()
+	s.a.Unlock()
+}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.LockSets()
+
+	if e := w.Edge("locks.S.a", "locks.S.b"); e != nil {
+		t.Errorf("go body must not inherit spawner's held set, got edge %+v", e)
+	}
+	if e := w.Edge("locks.S.a", "locks.global"); e == nil {
+		t.Error("immediately-invoked literal must inherit held set: missing edge locks.S.a -> locks.global")
+	}
+}
+
+// TestLockRankDirectives pins //vet:lockrank parsing: good declarations
+// land in Ranks, malformed and conflicting ones in BadRankDirectives.
+func TestLockRankDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrcStd(t, fset, "locks", lockHarness+`
+//vet:lockrank 10 locks.S.a outer lock
+//vet:lockrank 20 locks.S.b inner lock
+//vet:lockrank 20 locks.S.b restated identically - fine
+//vet:lockrank 30 locks.S.b conflicting rank
+//vet:lockrank oops locks.global bad rank
+//vet:lockrank 40
+func ranked() {}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.LockSets()
+
+	if r, ok := w.Ranks["locks.S.a"]; !ok || r.Rank != 10 {
+		t.Errorf("rank of locks.S.a = %+v, want 10", r)
+	}
+	if r, ok := w.Ranks["locks.S.b"]; !ok || r.Rank != 20 {
+		t.Errorf("rank of locks.S.b = %+v, want 20 (first declaration wins)", r)
+	}
+	if len(w.BadRankDirectives) != 3 {
+		t.Errorf("BadRankDirectives = %d, want 3 (conflict, bad rank, missing lock)", len(w.BadRankDirectives))
+	}
+}
+
+// TestLockSetUnnamedLocks pins the naming boundary: local mutex variables
+// have no canonical identity and must not register acquisitions.
+func TestLockSetUnnamedLocks(t *testing.T) {
+	fset := token.NewFileSet()
+	pp := loadSrcStd(t, fset, "locks", lockHarness+`
+func local() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+`)
+	prog := framework.NewProgram(fset, []*framework.ProgramPackage{pp})
+	w := prog.LockSets()
+	info := lockInfoOf(t, w, pp, "local")
+	if len(info.Acqs) != 0 {
+		t.Errorf("local mutex registered %d acquisitions, want 0", len(info.Acqs))
+	}
+}

@@ -52,17 +52,18 @@ const RootDirective = "//vet:hotpath"
 // forbidden is the effect mask hotpath convicts.
 const forbidden = framework.EffAllocates | framework.EffBlocksOnLock
 
-// sanctionedLocks are the owner-lock idioms a hot path may block on: each
-// is a short, leaf-ordered critical section the design documents (DESIGN.md
-// "Fleet scaling & hot-path concurrency"). The key is the effect site's
-// rendered lock identity.
-var sanctionedLocks = map[string]bool{
-	"lock androne/internal/mavproxy.VFC.mu":        true, // VFC serial endpoint
-	"lock androne/internal/flight.Controller.mu":   true, // flight fast-loop owner lock
-	"lock androne/internal/telemetry.Recorder.gmu": true, // global ring
-	"lock androne/internal/telemetry.Recorder.rmu": true, // black-box archive
-	"lock androne/internal/telemetry.stripe.mu":    true, // per-drone ring stripes
-}
+// sanctionedLocks are the owner-lock idioms a hot path may block on,
+// keyed by the effect site's rendered lock identity. The list itself lives
+// in framework.SanctionedHotPathLocks, shared with lockorder's
+// critical-path rule so the two analyzers can never disagree about what a
+// hot path may hold.
+var sanctionedLocks = func() map[string]bool {
+	m := make(map[string]bool, len(framework.SanctionedHotPathLocks))
+	for id := range framework.SanctionedHotPathLocks {
+		m["lock "+string(id)] = true
+	}
+	return m
+}()
 
 // closure computes, once per Program, the hot closure: every function
 // statically reachable from a //vet:hotpath root, mapped to the first root

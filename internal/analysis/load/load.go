@@ -211,14 +211,23 @@ type AnalyzerTiming struct {
 	Micros   int64
 }
 
+// AllowSite is one //vet:allow directive found in the analyzed tree.
+type AllowSite struct {
+	Analyzer string
+	Pos      token.Position
+}
+
 // RunStats is the per-run metadata the JSON report surfaces alongside the
-// findings: how many findings //vet:allow dropped, what each analyzer cost,
-// and the effect-summary engine's cache statistics when some analyzer
-// computed summaries (nil otherwise — the engine is lazy and shared).
+// findings: how many findings //vet:allow dropped, which //vet:allow
+// comments went stale (no active analyzer fires on their line anymore),
+// what each analyzer cost, and the effect-summary engine's cache
+// statistics when some analyzer computed summaries (nil otherwise — the
+// engine is lazy and shared).
 type RunStats struct {
-	Suppressed int
-	Timings    []AnalyzerTiming
-	Effects    *framework.EffectStats
+	Suppressed  int
+	StaleAllows []AllowSite
+	Timings     []AnalyzerTiming
+	Effects     *framework.EffectStats
 }
 
 // Run applies each analyzer to each package, returning findings sorted by
@@ -267,6 +276,7 @@ func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Finding, RunStats,
 			stats.Effects = &es
 		}
 	}
+	stats.StaleAllows = staleAllows(pkgs, analyzers, findings)
 	findings, stats.Suppressed = FilterCounted(findings)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -316,10 +326,74 @@ func FilterCounted(findings []Finding) ([]Finding, int) {
 }
 
 func suppresses(line, analyzer string) bool {
-	i := strings.Index(line, "//vet:allow")
-	if i < 0 {
-		return false
+	for _, name := range allowNames(line) {
+		if name == analyzer {
+			return true
+		}
 	}
-	rest := strings.Fields(line[i+len("//vet:allow"):])
-	return len(rest) > 0 && rest[0] == analyzer
+	return false
+}
+
+// allowNames parses every //vet:allow directive on a source line (one line
+// may suppress several analyzers: `//vet:allow hotpath x //vet:allow
+// lockorder y`). The first "//vet:allow" must open the comment — text
+// preceded by an earlier "//" is prose quoting the directive (a doc
+// comment explaining the convention), not a suppression.
+func allowNames(s string) []string {
+	i := strings.Index(s, "//vet:allow")
+	if i < 0 || strings.Contains(s[:i], "//") {
+		return nil
+	}
+	var names []string
+	for _, seg := range strings.Split(s[i:], "//vet:allow") {
+		if f := strings.Fields(seg); len(f) > 0 {
+			names = append(names, f[0])
+		}
+	}
+	return names
+}
+
+// staleAllows reports every //vet:allow comment naming an analyzer of this
+// run that no pre-suppression finding lands on anymore: dead weight that
+// would silently mask a future regression on its line. Analyzers not in
+// the run get no verdict — their suppressions cannot be judged.
+func staleAllows(pkgs []*Package, analyzers []*framework.Analyzer, raw []Finding) []AllowSite {
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	fired := make(map[string]bool, len(raw))
+	key := func(file string, line int, analyzer string) string {
+		return fmt.Sprintf("%s:%d:%s", file, line, analyzer)
+	}
+	for _, f := range raw {
+		fired[key(f.Pos.Filename, f.Pos.Line, f.Analyzer)] = true
+	}
+	var out []AllowSite
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, name := range allowNames(c.Text) {
+						if !active[name] || fired[key(pos.Filename, pos.Line, name)] {
+							continue
+						}
+						out = append(out, AllowSite{Analyzer: name, Pos: pos})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
 }

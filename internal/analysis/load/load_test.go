@@ -10,11 +10,13 @@ import (
 	"androne/internal/analysis/framework"
 	"androne/internal/analysis/hotpath"
 	"androne/internal/analysis/load"
+	"androne/internal/analysis/lockorder"
 	"androne/internal/analysis/locksafe"
 	"androne/internal/analysis/nsguard"
 	"androne/internal/analysis/permguard"
 	"androne/internal/analysis/sendertaint"
 	"androne/internal/analysis/tickleak"
+	"androne/internal/analysis/waitleak"
 	"androne/internal/analysis/whitelistguard"
 )
 
@@ -24,11 +26,13 @@ var suite = []*framework.Analyzer{
 	detguard.Analyzer,
 	errflow.Analyzer,
 	hotpath.Analyzer,
+	lockorder.Analyzer,
 	locksafe.Analyzer,
 	nsguard.Analyzer,
 	permguard.Analyzer,
 	sendertaint.Analyzer,
 	tickleak.Analyzer,
+	waitleak.Analyzer,
 	whitelistguard.Analyzer,
 }
 
@@ -49,6 +53,12 @@ func TestRepoClean(t *testing.T) {
 	}
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+	// Every //vet:allow in the tree must still be earning its keep: a
+	// suppression nothing fires on would silently mask the next regression.
+	for _, s := range stats.StaleAllows {
+		t.Errorf("stale //vet:allow %s at %s:%d: the analyzer no longer fires on this line",
+			s.Analyzer, s.Pos.Filename, s.Pos.Line)
 	}
 	if len(stats.Timings) != len(suite) {
 		t.Errorf("got %d timing entries, want one per analyzer (%d)", len(stats.Timings), len(suite))

@@ -32,16 +32,38 @@ type JSONEffectStats struct {
 	BoundedCalls   int `json:"bounded_calls"`
 }
 
+// JSONAllowSite is one stale //vet:allow suppression in the -json output:
+// a comment naming an analyzer that no longer fires on its line.
+type JSONAllowSite struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+}
+
+// JSONBudget is the wall-clock budget gate's verdict in the -json output,
+// present when the driver was given a -budget-file reference.
+type JSONBudget struct {
+	ReferenceMicros int64 `json:"reference_micros"`
+	LimitMicros     int64 `json:"limit_micros"`
+	TotalMicros     int64 `json:"total_micros"`
+	Exceeded        bool  `json:"exceeded"`
+}
+
 // JSONReport is the full -json document: the analyzers that ran, every
-// surviving finding, how many findings //vet:allow comments dropped, each
-// analyzer's wall-clock cost, and — when an analyzer computed effect
-// summaries — the engine's cache statistics.
+// surviving finding, how many findings //vet:allow comments dropped, the
+// stale suppressions, each analyzer's wall-clock cost plus the total, the
+// budget verdict when a reference was supplied, and — when an analyzer
+// computed effect summaries — the engine's cache statistics.
 type JSONReport struct {
-	Analyzers  []string         `json:"analyzers"`
-	Findings   []JSONFinding    `json:"findings"`
-	Suppressed int              `json:"suppressed"`
-	Timings    []JSONTiming     `json:"timings,omitempty"`
-	Effects    *JSONEffectStats `json:"effect_summaries,omitempty"`
+	Analyzers       []string         `json:"analyzers"`
+	Findings        []JSONFinding    `json:"findings"`
+	Suppressed      int              `json:"suppressed"`
+	StaleAllowCount int              `json:"stale_allow_count"`
+	StaleAllows     []JSONAllowSite  `json:"stale_allows,omitempty"`
+	Timings         []JSONTiming     `json:"timings,omitempty"`
+	TotalMicros     int64            `json:"total_micros,omitempty"`
+	Budget          *JSONBudget      `json:"budget,omitempty"`
+	Effects         *JSONEffectStats `json:"effect_summaries,omitempty"`
 }
 
 // Report assembles the JSON document for a completed run.
@@ -60,8 +82,17 @@ func Report(analyzers []string, findings []Finding, stats RunStats) JSONReport {
 			Message:  f.Message,
 		})
 	}
+	out.StaleAllowCount = len(stats.StaleAllows)
+	for _, s := range stats.StaleAllows {
+		out.StaleAllows = append(out.StaleAllows, JSONAllowSite{
+			Analyzer: s.Analyzer,
+			File:     s.Pos.Filename,
+			Line:     s.Pos.Line,
+		})
+	}
 	for _, tm := range stats.Timings {
 		out.Timings = append(out.Timings, JSONTiming{Analyzer: tm.Analyzer, Micros: tm.Micros})
+		out.TotalMicros += tm.Micros
 	}
 	if stats.Effects != nil {
 		out.Effects = &JSONEffectStats{

@@ -28,6 +28,9 @@ func TestJSONReportGolden(t *testing.T) {
 	}
 	stats := load.RunStats{
 		Suppressed: 3,
+		StaleAllows: []load.AllowSite{
+			{Analyzer: "tickleak", Pos: token.Position{Filename: "internal/sched/sched.go", Line: 88}},
+		},
 		Timings: []load.AnalyzerTiming{
 			{Analyzer: "errflow", Micros: 1200},
 			{Analyzer: "hotpath", Micros: 450},
@@ -69,6 +72,14 @@ func TestJSONReportGolden(t *testing.T) {
     }
   ],
   "suppressed": 3,
+  "stale_allow_count": 1,
+  "stale_allows": [
+    {
+      "analyzer": "tickleak",
+      "file": "internal/sched/sched.go",
+      "line": 88
+    }
+  ],
   "timings": [
     {
       "analyzer": "errflow",
@@ -79,6 +90,7 @@ func TestJSONReportGolden(t *testing.T) {
       "micros": 450
     }
   ],
+  "total_micros": 1650,
   "effect_summaries": {
     "functions": 812,
     "passes": 4,
@@ -107,7 +119,8 @@ func TestJSONReportEmpty(t *testing.T) {
     "errflow"
   ],
   "findings": [],
-  "suppressed": 0
+  "suppressed": 0,
+  "stale_allow_count": 0
 }
 `
 	if got := buf.String(); got != golden {

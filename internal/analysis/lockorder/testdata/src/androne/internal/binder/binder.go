@@ -1,0 +1,18 @@
+// Package binder is a fixture stand-in for the real binder package: the
+// critical-path rule recognizes tenant entry points by assignability to
+// this Handler type, found by the internal/binder path suffix.
+package binder
+
+// Txn mirrors the production transaction shape.
+type Txn struct {
+	Code uint32
+	Data []byte
+}
+
+// Reply mirrors the production reply shape.
+type Reply struct {
+	Status int32
+}
+
+// Handler is the transaction-handler signature tenant code registers.
+type Handler func(txn Txn) (Reply, error)

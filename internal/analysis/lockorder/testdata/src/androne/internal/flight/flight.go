@@ -1,0 +1,27 @@
+// Package flight is a fixture at the real flight path so the sanctioned
+// hot-path lock list applies: Controller.mu is on the reviewed list, and
+// sharing it between the hot loop and tenant-reachable code must stay
+// silent even though the same shape on any other lock is convicted.
+package flight
+
+import "sync"
+
+type Controller struct {
+	mu    sync.Mutex
+	state int
+}
+
+//vet:hotpath fixture: the flight fast loop's sanctioned owner lock
+func (c *Controller) Step() {
+	c.mu.Lock()
+	c.state++
+	c.mu.Unlock()
+}
+
+// Snapshot is tenant-reachable through critbad's portal handler and takes
+// the same sanctioned lock: still silent.
+func (c *Controller) Snapshot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}

@@ -1,0 +1,9 @@
+// Package locka owns one half of the cross-package lock-order fixture: an
+// exported package-level mutex that lockb and lockab nest in opposite
+// orders across package boundaries.
+package locka
+
+import "sync"
+
+// Mu is locked by both lockb (under its own mutex) and lockab (over it).
+var Mu sync.Mutex

@@ -1,0 +1,17 @@
+// Package lockab closes the cross-package cycle: it nests locka.Mu over
+// lockb.Mu while lockb.BThenA nests them the other way around. Neither
+// package alone misorders anything — only the interprocedural, cross-
+// package view convicts, with both witnesses named.
+package lockab
+
+import (
+	"locka"
+	"lockb"
+)
+
+func AThenB() {
+	locka.Mu.Lock()
+	lockb.Mu.Lock() // want `inconsistent lock order \(potential deadlock\): locka.Mu -> lockb.Mu here .*but lockb.Mu -> locka.Mu elsewhere \(BThenA acquires locka.Mu`
+	lockb.Mu.Unlock()
+	locka.Mu.Unlock()
+}

@@ -1,0 +1,19 @@
+// Package lockb takes its own exported mutex and then locka's — the
+// reverse of lockab's order. The pair finding lands on lockab's edge (the
+// lexically-first direction); this package supplies the second witness.
+package lockb
+
+import (
+	"sync"
+
+	"locka"
+)
+
+var Mu sync.Mutex
+
+func BThenA() {
+	Mu.Lock()
+	locka.Mu.Lock()
+	locka.Mu.Unlock()
+	Mu.Unlock()
+}

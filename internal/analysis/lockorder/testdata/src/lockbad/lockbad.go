@@ -1,0 +1,140 @@
+// Package lockbad exercises the lockorder analyzer's deadlock rules: an
+// inconsistent A→B/B→A acquisition pair with both witnesses named, a
+// three-lock acquisition cycle (one edge transitive, to exercise the
+// via-call witness rendering), //vet:lockrank violations (order break and
+// equal-rank nesting), malformed rank directives, the TryLock no-incoming-
+// edge guarantee, and the reviewed //vet:allow suppression path.
+package lockbad
+
+import "sync"
+
+type P struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// Inconsistent pair: ab takes a then b, ba takes b then a. The finding
+// lands once, on the lexically-first edge's witness line.
+func ab(p *P) {
+	p.a.Lock()
+	p.b.Lock() // want `inconsistent lock order \(potential deadlock\): lockbad.P.a -> lockbad.P.b here .*but lockbad.P.b -> lockbad.P.a elsewhere`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func ba(p *P) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// A three-lock cycle c1 → c2 → c3 → c1, with the c2 → c3 edge created
+// transitively through lock3. Reported once, on the edge leaving the
+// smallest lock, with the full chain in the message.
+var (
+	c1 sync.Mutex
+	c2 sync.Mutex
+	c3 sync.Mutex
+)
+
+func c12() {
+	c1.Lock()
+	c2.Lock() // want `lock-order cycle \(potential deadlock\): lockbad.c1 -> lockbad.c2 .*lockbad.c2 -> lockbad.c3 .*c23 calls lock3 .*lockbad.c3 -> lockbad.c1`
+	c2.Unlock()
+	c1.Unlock()
+}
+
+func c23() {
+	c2.Lock()
+	lock3()
+	c2.Unlock()
+}
+
+func lock3() {
+	c3.Lock()
+	c3.Unlock()
+}
+
+func c31() {
+	c3.Lock()
+	c1.Lock()
+	c1.Unlock()
+	c3.Unlock()
+}
+
+// Declared global order: r1 (rank 10) before r2 (rank 20). rankBad nests
+// them the other way around and is convicted naming both ranks.
+//
+//vet:lockrank 10 lockbad.r1 fixture outer lock
+//vet:lockrank 20 lockbad.r2 fixture inner lock
+var (
+	r1 sync.Mutex
+	r2 sync.Mutex
+)
+
+func rankBad() {
+	r2.Lock()
+	r1.Lock() // want `lock order breaks //vet:lockrank: lockbad.r1 \(rank 10\) must be acquired before lockbad.r2 \(rank 20\), not under it`
+	r1.Unlock()
+	r2.Unlock()
+}
+
+// Equal-ranked locks must never nest (they are peers, e.g. stripes).
+//
+//vet:lockrank 30 lockbad.e1 fixture stripe
+//vet:lockrank 30 lockbad.e2 fixture stripe
+var (
+	e1 sync.Mutex
+	e2 sync.Mutex
+)
+
+func eqRank() {
+	e1.Lock()
+	e2.Lock() // want `lock order breaks //vet:lockrank: lockbad.e1 and lockbad.e2 share rank 30 and must never nest`
+	e2.Unlock()
+	e1.Unlock()
+}
+
+// Malformed directives are convicted where they stand. (The missing-lock
+// variant cannot carry an inline want — trailing words parse as the lock
+// argument — so it is pinned by the framework unit tests instead.)
+//
+//vet:lockrank nope lockbad.m1 typo'd rank // want `malformed //vet:lockrank: bad rank "nope"`
+var m1 sync.Mutex
+
+// TryLock cannot block, so it gets no incoming order edge: were t1 → t2
+// recorded, the deliberately-inverted ranks below would convict this
+// function. Its silence is the assertion.
+//
+//vet:lockrank 70 lockbad.t1 fixture: inverted on purpose
+//vet:lockrank 60 lockbad.t2 fixture: inverted on purpose
+var (
+	t1 sync.Mutex
+	t2 sync.Mutex
+)
+
+func tryNoEdge() {
+	t1.Lock()
+	if t2.TryLock() {
+		t2.Unlock()
+	}
+	t1.Unlock()
+}
+
+// The reviewed suppression path: same shape as rankBad, silenced by
+// //vet:allow lockorder on the witness line.
+//
+//vet:lockrank 80 lockbad.s1 fixture outer lock
+//vet:lockrank 90 lockbad.s2 fixture inner lock
+var (
+	s1 sync.Mutex
+	s2 sync.Mutex
+)
+
+func allowedRank() {
+	s2.Lock()
+	s1.Lock() //vet:allow lockorder fixture: reviewed, the two are never held concurrently in production
+	s1.Unlock()
+	s2.Unlock()
+}

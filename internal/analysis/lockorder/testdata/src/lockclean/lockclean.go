@@ -1,0 +1,42 @@
+// Package lockclean is the clean direction: consistent nesting that obeys
+// its declared ranks, a try-lock under a held mutex, and a read-lock pair
+// — none of it may produce a finding.
+package lockclean
+
+import "sync"
+
+//vet:lockrank 10 lockclean.outer coarse registry lock
+//vet:lockrank 20 lockclean.inner per-entry lock
+var (
+	outer sync.Mutex
+	inner sync.Mutex
+	rw    sync.RWMutex
+)
+
+func ordered() {
+	outer.Lock()
+	inner.Lock()
+	inner.Unlock()
+	outer.Unlock()
+}
+
+func orderedAgain() {
+	outer.Lock()
+	defer outer.Unlock()
+	inner.Lock()
+	defer inner.Unlock()
+}
+
+func tryUnder() {
+	outer.Lock()
+	if inner.TryLock() {
+		inner.Unlock()
+	}
+	outer.Unlock()
+}
+
+func readers() int {
+	rw.RLock()
+	defer rw.RUnlock()
+	return 0
+}

@@ -1,0 +1,100 @@
+// Package waitbad exercises the waitleak analyzer: orphaned channel
+// operations (send with no receiver, receive with no sender or close,
+// including inside a spawned goroutine), goroutines with no way out
+// (empty select, unconditional for), WaitGroup Add inside the spawned
+// goroutine, Done calls a branch can skip, and the reviewed //vet:allow
+// suppression path.
+package waitbad
+
+import "sync"
+
+func work() int { return 1 }
+
+// The unbuffered channel never escapes and nothing receives: the send
+// parks forever.
+func orphanSend() {
+	ch := make(chan int)
+	ch <- 1 // want `send on ch can block forever: the unbuffered channel \(created at line \d+\) never escapes orphanSend and nothing in it receives`
+}
+
+// The mirror image: a receive with no sender and no close.
+func orphanReceive() {
+	ch := make(chan int)
+	<-ch // want `receive from ch can block forever: the unbuffered channel \(created at line \d+\) never escapes orphanReceive and nothing in it sends or closes it`
+}
+
+// The classic goroutine leak: the result send has no receiver because the
+// caller returned early — here distilled to its provable core, a channel
+// that never escapes the function at all.
+func goSend() {
+	ch := make(chan int)
+	go func() {
+		ch <- work() // want `send on ch can block forever`
+	}()
+}
+
+// An empty select has no case and can never be woken.
+func spawnEmptySelect() {
+	go func() {
+		select {} // want `spawned goroutine blocks forever: empty select has no case and no way out`
+	}()
+}
+
+// An unconditional loop with no return, break, or panic on any path: the
+// goroutine outlives every owner.
+func spawnForever() {
+	go func() {
+		for { // want `spawned goroutine never terminates: the for loop has no return, break, or panic on any path`
+			work()
+		}
+	}()
+}
+
+// An unlabeled break inside a nested loop exits the inner loop only — the
+// outer one is still inescapable.
+func spawnNestedBreak() {
+	go func() {
+		for { // want `spawned goroutine never terminates`
+			for {
+				if work() > 0 {
+					break
+				}
+			}
+		}
+	}()
+}
+
+// Add inside the spawned goroutine races with the parent's Wait.
+func addInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want `WaitGroup.Add inside the spawned goroutine races with Wait: Add before the go statement`
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Done on one branch only: the other path under-counts and Wait hangs.
+func conditionalDone(wg *sync.WaitGroup) {
+	go func() {
+		if work() > 0 {
+			wg.Done() // want `WaitGroup.Done can be skipped on some path \(Add/Done mismatch hangs Wait forever\): defer wg.Done\(\) at the top of the goroutine`
+		}
+	}()
+}
+
+// A top-level Done positioned after a possible early return is skippable
+// too — only defer is exit-proof.
+func doneAfterReturn(wg *sync.WaitGroup) {
+	go func() {
+		if work() == 0 {
+			return
+		}
+		wg.Done() // want `WaitGroup.Done can be skipped on some path`
+	}()
+}
+
+// The reviewed suppression path.
+func allowed() {
+	ch := make(chan int)
+	<-ch //vet:allow waitleak fixture: reviewed, the send arrives over a side channel the analyzer cannot see
+}

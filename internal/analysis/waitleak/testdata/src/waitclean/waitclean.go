@@ -1,0 +1,118 @@
+// Package waitclean is the clean direction for waitleak: counterparty
+// pairs, buffered and escaping channels, close-driven receives, stop
+// channels that let a loop return, breaks at loop depth, and the
+// guaranteed WaitGroup.Done forms — none of it may produce a finding.
+package waitclean
+
+import "sync"
+
+func work() int { return 1 }
+
+func producer(ch chan<- int) { ch <- 1 }
+
+// Send and receive both present: a real rendezvous.
+func rendezvous() int {
+	ch := make(chan int)
+	go func() {
+		ch <- work()
+	}()
+	return <-ch
+}
+
+// A buffered send cannot park on the first value: out of jurisdiction.
+func buffered() {
+	ch := make(chan int, 1)
+	ch <- 1
+}
+
+// The channel escapes into a callee, so the counterparty may exist
+// anywhere: the proof is forfeited, not the programmer convicted.
+func escapes() int {
+	ch := make(chan int)
+	go producer(ch)
+	return <-ch
+}
+
+// Returned channels escape too.
+func returned() chan int {
+	ch := make(chan int)
+	return ch
+}
+
+// A close satisfies a receive: the done-channel idiom.
+func closed() {
+	done := make(chan int)
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// The repo idiom the forever finding names: a stop case that returns.
+func stoppable(stop chan struct{}, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// An unlabeled break at loop depth is a way out.
+func breaksOut() {
+	go func() {
+		for {
+			if work() > 0 {
+				break
+			}
+		}
+	}()
+}
+
+// A labeled break from the nested loop exits the outer one.
+func labeledBreak() {
+	go func() {
+	outer:
+		for {
+			for {
+				if work() > 0 {
+					break outer
+				}
+			}
+		}
+	}()
+}
+
+// Conditional loops are not convicted: their condition is the way out.
+func conditional() {
+	go func() {
+		for work() > 0 {
+		}
+	}()
+}
+
+// defer wg.Done() at the top is exit-proof on every path.
+func deferredDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if work() == 0 {
+			return
+		}
+		work()
+	}()
+}
+
+// A top-level Done with no early return runs on the only path there is.
+func plainDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done()
+	}()
+}

@@ -1,0 +1,21 @@
+package waitleak_test
+
+import (
+	"testing"
+
+	"androne/internal/analysis/analysistest"
+	"androne/internal/analysis/waitleak"
+)
+
+// TestWaitLeak covers both directions: every sabotaged site in waitbad
+// (orphan send/receive, forever goroutines, WaitGroup misuse) must be
+// convicted, the //vet:allow site must stay silent, and the waitclean
+// idioms (rendezvous, buffered, escaping, close-driven, stop channels,
+// guaranteed Done forms) must produce nothing. An unmatched want fails
+// the test, so this doubles as CI's sabotage smoke assertion.
+func TestWaitLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", waitleak.Analyzer,
+		"waitbad",
+		"waitclean",
+	)
+}

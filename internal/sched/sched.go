@@ -77,14 +77,14 @@ func (q *Queue) Schedule(due uint64, kind uint8, arg uint64) ID {
 		q.free = q.free[:n-1]
 	} else {
 		slot = int32(len(q.items))
-		q.items = append(q.items, item{}) //vet:allow hotpath arena growth; amortized to zero once warm
+		q.items = append(q.items, item{})
 	}
 	it := &q.items[slot]
 	q.seq++
 	it.w = Wakeup{Due: due, Kind: kind, Arg: arg}
 	it.seq = q.seq
 	it.pos = int32(len(q.heap))
-	q.heap = append(q.heap, slot) //vet:allow hotpath heap growth; amortized to zero once warm
+	q.heap = append(q.heap, slot)
 	q.siftUp(int(it.pos))
 	return id(slot, it.gen)
 }
@@ -189,7 +189,7 @@ func (q *Queue) removeAt(i int) {
 	it := &q.items[slot]
 	it.pos = -1
 	it.gen++
-	q.free = append(q.free, slot) //vet:allow hotpath free-list growth; amortized to zero once warm
+	q.free = append(q.free, slot)
 }
 
 // less orders arena slots by (due, insertion rank).
