@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet androne-vet vet-ip vet-effects vet-locks vet-smoke vet-stale sim telemetry fleet equivalence fleet10k-smoke scale-smoke fuzz cover check clean
+.PHONY: all build test race vet androne-vet vet-ip vet-effects vet-locks vet-smoke vet-stale sim telemetry fleet equivalence fleet10k-smoke scale-smoke cloud-smoke load-smoke fuzz cover check clean
 
 all: build
 
@@ -137,6 +137,19 @@ fleet10k-smoke: build
 scale-smoke: build
 	$(GO) run ./cmd/androne-bench -exp scale -scale-smoke
 
+# Reduced cloud service-plane gate: the multi-tenant load workload through
+# the admission-controlled portal at CI size, with the real SLO gates —
+# zero errors/violations, p99 under budget, dedup >= 2x on checkpoint
+# churn. BENCH_cloud.json at the repo root is the committed full-size run.
+cloud-smoke: build
+	$(GO) run ./cmd/androne-bench -exp cloud -cloud-smoke
+
+# A tiny androne-load run end to end through the CLI: proves the traffic
+# harness itself works (flags, in-process service boot, JSON output).
+load-smoke: build
+	$(GO) run ./cmd/androne-load -tenants 2 -orders 1 -browse 3 -churn 2 -json >/dev/null
+	@echo "androne-load: smoke run completed"
+
 # Fuzz smoke: each native fuzz target for FUZZTIME (default 15s) on top of
 # its checked-in seed corpus (testdata/fuzz/).
 fuzz:
@@ -156,7 +169,7 @@ cover:
 		{ echo "total coverage $$total% fell below the $$floor% floor"; exit 1; }
 
 # Everything CI enforces, in CI's order.
-check: build vet vet-ip vet-locks vet-stale test race sim telemetry equivalence fleet fleet10k-smoke scale-smoke fuzz
+check: build vet vet-ip vet-locks vet-stale test race sim telemetry equivalence fleet fleet10k-smoke scale-smoke cloud-smoke load-smoke fuzz
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,128 @@
+// The cloud service-plane benchmark: BENCH_cloud.json records what the
+// multi-tenant front of the stack sustains — request latency quantiles and
+// throughput through the admission-controlled portal, the shed rate, and
+// the checkpoint dedup ratio the content-addressed VDR achieves on a
+// save/restore churn workload. The traffic is internal/loadgen's full
+// tenant lifecycle (browse, install, order, fly, re-order, churn) against
+// an in-process service plane, so the numbers measure the service code,
+// not sockets.
+//
+// Gates (enforced at every size, including -cloud-smoke):
+//   - zero request errors and zero invariant violations from the churn
+//     scenarios (save/restore must survive the layered VDR unchanged);
+//   - tenant-facing p99 under the latency budget;
+//   - dedup ratio >= 2x on the churn workload (the content-addressed
+//     store must actually pay for itself).
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"androne/internal/loadgen"
+)
+
+// cloudOpts parameterizes the experiment; tests inject a tiny population
+// so the whole pipeline — run, gates, JSON document — finishes in seconds.
+type cloudOpts struct {
+	out         string
+	seed        string
+	cfg         loadgen.Config // zero Tenants means loadgen.DefaultConfig()
+	p99BudgetMS float64        // 0 means 250
+	dedupFloor  float64        // 0 means 2
+}
+
+// cloudDoc is the BENCH_cloud.json document.
+type cloudDoc struct {
+	Host            scaleHost      `json:"host"`
+	Tenants         int            `json:"tenants"`
+	OrdersPerTenant int            `json:"orders-per-tenant"`
+	ChurnRounds     int            `json:"churn-rounds"`
+	P99BudgetMS     float64        `json:"p99-budget-ms"`
+	DedupFloor      float64        `json:"dedup-floor"`
+	Result          loadgen.Result `json:"result"`
+	Gate            string         `json:"gate"`
+}
+
+// cloudBench runs the service-plane experiment and enforces its SLO gates.
+func cloudBench(o cloudOpts) error {
+	header("Cloud service plane: multi-tenant load with SLO gates")
+	cfg := o.cfg
+	if cfg.Tenants == 0 {
+		cfg = loadgen.DefaultConfig()
+	}
+	if cfg.Seed == "" {
+		cfg.Seed = o.seed + "-cloud"
+	}
+	budget := o.p99BudgetMS
+	if budget == 0 {
+		budget = 250
+	}
+	floor := o.dedupFloor
+	if floor == 0 {
+		floor = 2
+	}
+
+	h, err := loadgen.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	res, err := h.Run()
+	if err != nil {
+		return err
+	}
+
+	doc := cloudDoc{
+		Host: scaleHost{
+			NumCPU:    runtime.NumCPU(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			GoVersion: runtime.Version(),
+		},
+		Tenants:         cfg.Tenants,
+		OrdersPerTenant: cfg.OrdersPerTenant,
+		ChurnRounds:     cfg.ChurnRounds,
+		P99BudgetMS:     budget,
+		DedupFloor:      floor,
+		Result:          *res,
+		Gate: fmt.Sprintf("zero errors/violations, p99 <= %.0f ms, churn dedup >= %.1fx",
+			budget, floor),
+	}
+
+	fmt.Printf("  %d tenants, %d requests: p50 %.2f ms, p99 %.2f ms, %.0f req/s\n",
+		res.Tenants, res.Requests, res.P50Ms, res.P99Ms, res.ThroughputRPS)
+	fmt.Printf("  shed %d (%.1f%%), errors %d, fly rounds %d (%.1f s)\n",
+		res.Shed, 100*res.ShedRate, res.Errors, res.FlyRounds, res.FlySeconds)
+	fmt.Printf("  churn: %d scenario runs, %d violations, dedup %.2fx (%d KB logical over %d KB physical)\n",
+		res.ChurnRuns, res.Violations, res.DedupRatio,
+		res.Blob.LogicalBytes>>10, res.Blob.PhysicalBytes>>10)
+
+	if res.Errors > 0 {
+		return fmt.Errorf("cloud: %d request errors (want 0)", res.Errors)
+	}
+	if res.Violations > 0 {
+		return fmt.Errorf("cloud: %d invariant violations from churn scenarios (want 0)", res.Violations)
+	}
+	if res.P99Ms > budget {
+		return fmt.Errorf("cloud: p99 %.2f ms exceeds the %.0f ms budget", res.P99Ms, budget)
+	}
+	if res.DedupRatio < floor {
+		return fmt.Errorf("cloud: dedup ratio %.2fx is below the %.1fx floor", res.DedupRatio, floor)
+	}
+
+	if o.out != "" {
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  cloud results written to %s\n", o.out)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"androne/internal/loadgen"
+)
+
+// TestCloudPipeline runs the full cloud experiment — workload, SLO gates,
+// JSON document — on a two-tenant population so it finishes in seconds.
+// The gates are the real ones: zero errors and violations, p99 under
+// budget, dedup >= 2x on the churn workload.
+func TestCloudPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flies whole missions")
+	}
+	cfg := loadgen.DefaultConfig()
+	cfg.Tenants, cfg.OrdersPerTenant = 2, 1
+	cfg.BrowseRepeat, cfg.ChurnRounds = 5, 3
+	cfg.Seed = "cloud-pipeline-test"
+
+	out := filepath.Join(t.TempDir(), "cloud.json")
+	if err := cloudBench(cloudOpts{out: out, seed: "cloud-test", cfg: cfg}); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc cloudDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Tenants != 2 || doc.ChurnRounds != 3 {
+		t.Errorf("doc header: tenants %d churn %d", doc.Tenants, doc.ChurnRounds)
+	}
+	if doc.P99BudgetMS != 250 || doc.DedupFloor != 2 {
+		t.Errorf("default gates: p99 %v dedup %v", doc.P99BudgetMS, doc.DedupFloor)
+	}
+	r := doc.Result
+	if r.Requests == 0 || r.Errors != 0 || r.Violations != 0 {
+		t.Errorf("result: requests %d errors %d violations %d", r.Requests, r.Errors, r.Violations)
+	}
+	if r.P99Ms <= 0 || r.P99Ms > doc.P99BudgetMS {
+		t.Errorf("p99 %.2f ms outside (0, %.0f]", r.P99Ms, doc.P99BudgetMS)
+	}
+	if r.DedupRatio < 2 {
+		t.Errorf("dedup %.2fx below the floor (blob %+v)", r.DedupRatio, r.Blob)
+	}
+	if r.FlyRounds != 2 || r.ThroughputRPS <= 0 {
+		t.Errorf("fly rounds %d, throughput %.1f", r.FlyRounds, r.ThroughputRPS)
+	}
+}

@@ -26,6 +26,13 @@
 // (BENCH_fleet10k.json at the repo root is the committed reference).
 // With -fleet10k-smoke it runs a reduced CI-sized fleet with the same
 // gates.
+//
+// The extra "cloud" experiment (also not part of "all") drives a
+// multi-tenant load workload through the admission-controlled service
+// plane and enforces the SLO gates (p99 latency budget, dedup floor on
+// checkpoint churn), writing -cloud-out (BENCH_cloud.json at the repo
+// root is the committed reference). With -cloud-smoke it runs a reduced
+// CI-sized population with the same gates.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"androne/internal/flight"
 	"androne/internal/gcs"
 	"androne/internal/geo"
+	"androne/internal/loadgen"
 	"androne/internal/mavproxy"
 	"androne/internal/netem"
 	"androne/internal/planner"
@@ -60,6 +68,8 @@ func main() {
 	fleet10kOut := flag.String("fleet10k-out", "", "write the fleet10k experiment's JSON here")
 	fleet10kDrones := flag.Int("fleet10k-drones", 10000, "event-mode fleet size for the fleet10k experiment")
 	fleet10kSmokeFlag := flag.Bool("fleet10k-smoke", false, "run the reduced fleet10k gate for CI instead of the full experiment")
+	cloudOut := flag.String("cloud-out", "", "write the cloud experiment's JSON here")
+	cloudSmokeFlag := flag.Bool("cloud-smoke", false, "run the reduced cloud service-plane gate for CI instead of the full experiment")
 	flag.Parse()
 
 	run := map[string]func() error{
@@ -81,6 +91,16 @@ func main() {
 				o.eventDrones, o.lockDrones = 128, 2
 			}
 			return fleet10k(o)
+		},
+		"cloud": func() error {
+			o := cloudOpts{out: *cloudOut, seed: *seed}
+			if *cloudSmokeFlag {
+				o.cfg = loadgen.DefaultConfig()
+				o.cfg.Tenants, o.cfg.OrdersPerTenant = 3, 1
+				o.cfg.BrowseRepeat, o.cfg.ChurnRounds = 10, 3
+				o.cfg.Seed = *seed + "-cloud-smoke"
+			}
+			return cloudBench(o)
 		},
 	}
 	names := []string{"table1", "fig10", "fig11", "fig12", "fig13", "net", "gcs", "jitter", "aed", "sitl"}

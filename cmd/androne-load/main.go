@@ -1,0 +1,85 @@
+// Command androne-load drives a synthetic multi-tenant workload against
+// the AnDrone service plane: every tenant browses the app store, installs
+// an app, orders a virtual drone, the operator flies the fleet, and the
+// tenants re-order their interrupted drones so checkpoints churn through
+// the content-addressed VDR. It prints latency quantiles, throughput, the
+// admission shed rate, and the checkpoint dedup ratio, and can emit them
+// as JSON.
+//
+// By default the service runs in-process (no sockets: requests are served
+// straight into the handler), so the numbers measure the service code.
+// With -url it targets a running androne-portal instead; in that mode the
+// save/restore churn scenarios are skipped and the dedup ratio is read
+// off the portal's /metrics.
+//
+// Usage:
+//
+//	androne-load -tenants 8 -orders 2 -churn 3
+//	androne-load -url http://portal:8080 -tenants 16 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"androne/internal/loadgen"
+)
+
+func main() {
+	def := loadgen.DefaultConfig()
+	tenants := flag.Int("tenants", def.Tenants, "synthetic tenant population")
+	orders := flag.Int("orders", def.OrdersPerTenant, "quick photo orders per tenant")
+	browse := flag.Int("browse", def.BrowseRepeat, "listing reads per tenant (the latency sample)")
+	churn := flag.Int("churn", def.ChurnRounds, "save/restore churn rounds per tenant (in-process only)")
+	fleetSize := flag.Int("fleet", def.FleetSize, "physical fleet size for the in-process service")
+	seed := flag.String("seed", def.Seed, "deterministic seed for the in-process fleet")
+	url := flag.String("url", "", "target a remote portal instead of an in-process service")
+	timeout := flag.Duration("timeout", def.Timeout, "per-request client timeout")
+	asJSON := flag.Bool("json", false, "emit the result as JSON on stdout")
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Tenants:         *tenants,
+		OrdersPerTenant: *orders,
+		BrowseRepeat:    *browse,
+		ChurnRounds:     *churn,
+		FleetSize:       *fleetSize,
+		Seed:            *seed,
+		BaseURL:         *url,
+		Timeout:         *timeout,
+	}
+	h, err := loadgen.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "androne-load: %v\n", err)
+		os.Exit(1)
+	}
+	defer h.Close()
+
+	start := time.Now()
+	res, err := h.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "androne-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "androne-load: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("androne-load: %d tenants, %v wall\n", res.Tenants, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  requests   %d (%.0f req/s over %.1f s of traffic)\n", res.Requests, res.ThroughputRPS, res.HTTPSeconds)
+	fmt.Printf("  latency    p50 %.2f ms, p99 %.2f ms\n", res.P50Ms, res.P99Ms)
+	fmt.Printf("  admission  shed %d (%.1f%%), errors %d\n", res.Shed, 100*res.ShedRate, res.Errors)
+	fmt.Printf("  flights    %d rounds in %.1f s\n", res.FlyRounds, res.FlySeconds)
+	fmt.Printf("  churn      %d scenario runs, %d violations\n", res.ChurnRuns, res.Violations)
+	fmt.Printf("  dedup      %.2fx (logical %d B over physical %d B, %d hits, %d B gc-freed)\n",
+		res.DedupRatio, res.Blob.LogicalBytes, res.Blob.PhysicalBytes, res.Blob.DedupHits, res.Blob.GCFreedBytes)
+}

@@ -14,24 +14,21 @@
 //	GET  /metrics             flight-recorder metrics (text exposition)
 //	GET  /debug/trace         recent trace events per fleet drone; filter
 //	                          with ?drone=<virtual drone name>
+//
+// All /api/ routes sit behind per-tenant admission control (see
+// internal/cloud): set the X-Androne-User header, and expect 429 +
+// Retry-After under overload.
 package main
 
 import (
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"time"
 
-	"androne/internal/apps"
-	"androne/internal/cloud"
-	"androne/internal/core"
 	"androne/internal/geo"
-	"androne/internal/sdk"
 	"androne/internal/service"
-	"androne/internal/telemetry"
 )
 
 func main() {
@@ -49,82 +46,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "androne-portal:", err)
 		os.Exit(1)
 	}
-	seedAppStore(svc.AppStore())
-
-	mux := http.NewServeMux()
-	mux.Handle("/", svc.Handler())
-	mux.HandleFunc("POST /api/admin/fly", func(w http.ResponseWriter, r *http.Request) {
-		reports, err := svc.Run()
-		if errors.Is(err, service.ErrNothingToFly) {
-			writeJSON(w, http.StatusOK, map[string]any{"flights": 0})
-			return
-		}
-		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-			return
-		}
-		type flightSummary struct {
-			DurationS float64 `json:"duration-s"`
-			EnergyJ   float64 `json:"energy-j"`
-			Home      bool    `json:"returned-home"`
-			AEDPass   bool    `json:"aed-pass"`
-		}
-		out := make([]flightSummary, 0, len(reports))
-		for _, rep := range reports {
-			out = append(out, flightSummary{
-				DurationS: rep.DurationS, EnergyJ: rep.FlightEnergyJ,
-				Home: rep.ReturnedHome, AEDPass: rep.AED.Pass,
-			})
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"flights": len(out), "reports": out})
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		fmt.Fprint(w, telemetry.DefaultRegistry.Exposition())
-	})
-	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
-		droneName := r.URL.Query().Get("drone")
-		key := telemetry.Key(0)
-		if droneName != "" {
-			// Lookup, not K: query strings must not grow the intern table.
-			k, ok := telemetry.Lookup(droneName)
-			if !ok {
-				writeJSON(w, http.StatusNotFound,
-					map[string]string{"error": "unknown drone: " + droneName})
-				return
-			}
-			key = k
-		}
-		type fleetTrace struct {
-			Fleet  int                     `json:"fleet"`
-			Events []telemetry.RecordEvent `json:"events"`
-		}
-		out := make([]fleetTrace, 0, len(svc.Fleet()))
-		for i, d := range svc.Fleet() {
-			out = append(out, fleetTrace{
-				Fleet:  i,
-				Events: telemetry.DecodeEvents(d.Tel.Snapshot(key)),
-			})
-		}
-		writeJSON(w, http.StatusOK, out)
-	})
-	mux.HandleFunc("GET /api/admin/bills", func(w http.ResponseWriter, r *http.Request) {
-		bills := make(map[string]map[string]float64)
-		for _, ord := range svc.Orders().List("") {
-			if b, ok := svc.BillFor(ord.ID); ok {
-				bills[ord.ID] = map[string]float64{
-					"energy": b.EnergyCharge, "storage": b.StorageCharge,
-					"network": b.NetworkCharge, "total": b.Total(),
-				}
-			}
-		}
-		writeJSON(w, http.StatusOK, bills)
-	})
+	if err := svc.SeedDemoApps(); err != nil {
+		fmt.Fprintln(os.Stderr, "androne-portal:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("androne-portal: fleet of %d, listening on %s\n", *fleet, *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -134,55 +64,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "androne-portal:", err)
 		os.Exit(1)
 	}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// seedAppStore publishes the reference apps so the store is browsable out of
-// the box.
-func seedAppStore(store *cloud.AppStore) {
-	entries := []struct {
-		pkg, desc, manifest string
-	}{
-		{apps.SurveyPackage, "autonomous aerial survey with lawnmower sweeps", `
-<androne-manifest package="com.androne.survey">
-  <uses-permission name="camera" type="waypoint"/>
-  <uses-permission name="flight-control" type="waypoint"/>
-  <argument name="survey-areas" type="polygon-list" required="true"/>
-  <argument name="spacing-m" type="number" required="false"/>
-  <argument name="use-mission" type="bool" required="false"/>
-</androne-manifest>`},
-		{apps.PhotoPackage, "aerial snapshots at a waypoint", `
-<androne-manifest package="com.androne.photo">
-  <uses-permission name="camera" type="waypoint"/>
-  <argument name="shots" type="number" required="false"/>
-</androne-manifest>`},
-		{apps.TrafficWatchPackage, "continuous traffic filming between waypoints", `
-<androne-manifest package="com.androne.trafficwatch">
-  <uses-permission name="camera" type="continuous"/>
-  <uses-permission name="gps" type="continuous"/>
-</androne-manifest>`},
-		{apps.RemoteControlPackage, "interactive drone control from a smartphone", `
-<androne-manifest package="com.androne.remotecontrol">
-  <uses-permission name="camera" type="waypoint"/>
-  <uses-permission name="flight-control" type="waypoint"/>
-</androne-manifest>`},
-	}
-	for _, e := range entries {
-		m, err := sdk.ParseManifest([]byte(e.manifest))
-		if err != nil {
-			panic(err)
-		}
-		if err := store.Publish(cloud.StoreApp{
-			Package: e.pkg, Description: e.desc, Manifest: m,
-			APK: []byte("apk:" + e.pkg),
-		}); err != nil {
-			panic(err)
-		}
-	}
-	_ = core.DeviceNames // documented device names are part of the portal UI
 }

@@ -39,7 +39,8 @@ func main() {
 	}
 	defJSON, err := def.Encode()
 	check(err)
-	order := orders.Create("alice", def.Name, defJSON)
+	order, err := orders.Create("alice", def.Name, defJSON)
+	check(err)
 	bill := energy.DefaultRates().Compute(energy.Usage{EnergyJ: def.EnergyAllotted})
 	fmt.Printf("order %s placed; estimated energy charge %.3f\n", order.ID, bill.EnergyCharge)
 

@@ -11,6 +11,9 @@
 //     (Slowloris-trivial); construct an http.Server with ReadHeaderTimeout.
 //   - http.Server composite literals without ReadHeaderTimeout or
 //     ReadTimeout.
+//   - http.Client composite literals without Timeout: such a client blocks
+//     forever on a dead peer (the androne-load client pool is the shape
+//     this guards).
 //   - http.Get / Post / PostForm / Head: http.DefaultClient has no timeout.
 //   - net.Dial: no deadline; use net.DialTimeout or a net.Dialer (ideally
 //     DialContext).
@@ -46,6 +49,7 @@ func scoped(pkgPath string) bool {
 	for _, s := range []string{
 		"androne/internal/cloud",
 		"androne/internal/gcs",
+		"androne/internal/loadgen",
 		"androne/internal/service",
 		"androne/internal/telemetry",
 		"androne/cmd/",
@@ -83,6 +87,7 @@ func run(pass *framework.Pass) error {
 				checkCall(pass, n)
 			case *ast.CompositeLit:
 				checkServerLit(pass, n)
+				checkClientLit(pass, n)
 			case *ast.GoStmt:
 				checkGo(pass, n)
 			}
@@ -128,7 +133,29 @@ func checkServerLit(pass *framework.Pass, lit *ast.CompositeLit) {
 	pass.Reportf(lit.Pos(), "http.Server without ReadHeaderTimeout or ReadTimeout never times out slow clients; set ReadHeaderTimeout")
 }
 
-func isHTTPServer(t types.Type) bool {
+// checkClientLit flags http.Client literals constructed without a Timeout:
+// every client in the service plane (including the load harness's client
+// pool) must bound its requests, or a dead peer wedges the caller forever.
+func checkClientLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isHTTPType(tv.Type, "Client") {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Timeout" {
+			return
+		}
+	}
+	pass.Reportf(lit.Pos(), "http.Client without Timeout blocks forever on a dead peer; set Timeout (or use NewRequestWithContext per call)")
+}
+
+func isHTTPServer(t types.Type) bool { return isHTTPType(t, "Server") }
+
+func isHTTPType(t types.Type, name string) bool {
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
 	}
@@ -137,7 +164,7 @@ func isHTTPServer(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Server" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
 }
 
 // checkGo requires a spawned function literal to carry some coordination

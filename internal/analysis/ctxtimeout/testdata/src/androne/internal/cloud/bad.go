@@ -16,6 +16,11 @@ func Bad(addr string) {
 	srv := &http.Server{Addr: addr} // want `http\.Server without ReadHeaderTimeout or ReadTimeout`
 	_ = srv
 
+	c := &http.Client{} // want `http\.Client without Timeout`
+	_ = c
+	c2 := http.Client{Transport: http.DefaultTransport} // want `http\.Client without Timeout`
+	_ = c2
+
 	go func() { // want `goroutine has no cancellation or completion path`
 		for {
 			work()

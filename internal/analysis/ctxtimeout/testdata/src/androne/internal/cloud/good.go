@@ -17,6 +17,9 @@ func Good(ctx context.Context, addr string) {
 	var d net.Dialer
 	_, _ = d.DialContext(ctx, "tcp", addr)
 
+	client := &http.Client{Timeout: 30 * time.Second}
+	_ = client
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -1,0 +1,236 @@
+package cloud
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control is the portal's front door (ROADMAP item 2): per-tenant
+// token buckets bound each tenant's request rate, and a bounded in-service
+// queue bounds total concurrency. Requests past either bound are shed with
+// 429 + Retry-After instead of queuing without limit — under overload the
+// portal answers some requests fast and refuses the rest cheaply, rather
+// than answering all of them late. One flooding tenant exhausts its own
+// bucket, not the service: the isolation contract is pinned by
+// TestFloodingTenantIsolation.
+
+// TenantHeader carries the tenant identity on portal requests. Admission
+// falls back to the user query parameter, then to "anon" — so unauthenticated
+// probes share one bucket instead of each minting a fresh one.
+const TenantHeader = "X-Androne-User"
+
+// RateLimiter applies a token bucket per tenant: capacity burst, refilled
+// at rate tokens/second, one token per request. The zero rate disables
+// limiting. The clock is injectable so refill arithmetic is testable
+// without sleeping.
+type RateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter; now may be nil for the wall clock.
+func NewRateLimiter(rate, burst float64, now func() time.Time) *RateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	return &RateLimiter{rate: rate, burst: burst, now: now,
+		buckets: make(map[string]*tokenBucket)}
+}
+
+// Allow consumes one token from tenant's bucket, reporting false when the
+// bucket is dry. New tenants start with a full burst.
+func (l *RateLimiter) Allow(tenant string) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens reports tenant's current balance without refilling — a test hook.
+func (l *RateLimiter) Tokens(tenant string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b, ok := l.buckets[tenant]; ok {
+		return b.tokens
+	}
+	return l.burst
+}
+
+// AdmissionConfig tunes the front door. Zero values take the defaults
+// noted per field.
+type AdmissionConfig struct {
+	// RatePerTenant is each tenant's sustained requests/second (default
+	// 200; <0 disables rate limiting).
+	RatePerTenant float64
+	// Burst is each tenant's bucket capacity (default 2×rate).
+	Burst float64
+	// MaxInFlight bounds requests being served at once (default 64).
+	MaxInFlight int
+	// MaxQueued bounds requests waiting for an in-flight slot; arrivals
+	// beyond it are shed immediately (default 256).
+	MaxQueued int
+	// MaxWait is how long a queued request waits for a slot before being
+	// shed (default 250ms).
+	MaxWait time.Duration
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Now is the test clock for the rate limiter (nil = wall clock).
+	Now func() time.Time
+}
+
+// Admission is the portal's admission-control middleware.
+type Admission struct {
+	limiter    *RateLimiter
+	sem        chan struct{}
+	maxQueued  int64
+	queued     atomic.Int64
+	maxWait    time.Duration
+	retryAfter time.Duration
+}
+
+// NewAdmission builds the middleware from cfg.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.RatePerTenant == 0 {
+		cfg.RatePerTenant = 200
+	}
+	if cfg.Burst == 0 {
+		cfg.Burst = 2 * cfg.RatePerTenant
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.MaxQueued == 0 {
+		cfg.MaxQueued = 256
+	}
+	if cfg.MaxWait == 0 {
+		cfg.MaxWait = 250 * time.Millisecond
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = time.Second
+	}
+	return &Admission{
+		limiter:    NewRateLimiter(cfg.RatePerTenant, cfg.Burst, cfg.Now),
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		maxQueued:  int64(cfg.MaxQueued),
+		maxWait:    cfg.MaxWait,
+		retryAfter: cfg.RetryAfter,
+	}
+}
+
+// TenantOf extracts the tenant identity from a request.
+func TenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("user"); t != "" {
+		return t
+	}
+	return "anon"
+}
+
+// endpointOf classifies a request for the per-endpoint latency histograms.
+// (Manual classification: http.Request.Pattern needs a newer Go than the
+// module targets.)
+func endpointOf(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/api/apps", strings.HasPrefix(p, "/api/apps/"):
+		return "apps"
+	case p == "/api/orders":
+		return "orders"
+	case strings.HasPrefix(p, "/api/orders/"):
+		return "order"
+	case strings.HasPrefix(p, "/api/files/"):
+		return "files"
+	case p == "/api/vdr":
+		return "vdr"
+	default:
+		return "other"
+	}
+}
+
+// acquire takes an in-flight slot, waiting up to maxWait in the bounded
+// queue. It reports false when the request must be shed.
+func (a *Admission) acquire() bool {
+	select {
+	case a.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueued {
+		a.queued.Add(-1)
+		return false
+	}
+	defer a.queued.Add(-1)
+	t := time.NewTimer(a.maxWait)
+	defer t.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+func (a *Admission) shed(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int(a.retryAfter.Seconds()+0.5)))
+	writeJSON(w, http.StatusTooManyRequests,
+		map[string]string{"error": "overloaded: " + reason + ", retry later"})
+}
+
+// Wrap applies admission control around next: token bucket per tenant,
+// then the bounded queue, then per-endpoint latency accounting.
+func (a *Admission) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		endpoint := endpointOf(r)
+		if !a.limiter.Allow(TenantOf(r)) {
+			mShedRate.Inc()
+			a.shed(w, "tenant rate limit")
+			return
+		}
+		if !a.acquire() {
+			mShedQueue.Inc()
+			a.shed(w, "service queue full")
+			return
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		<-a.sem
+		mAdmitted.Inc()
+		if h, ok := mEndpointLatency[endpoint]; ok {
+			h.Observe(time.Since(start).Seconds())
+		}
+	})
+}

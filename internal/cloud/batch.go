@@ -1,0 +1,47 @@
+package cloud
+
+import "sync"
+
+// batchGroup coalesces concurrent identical reads (singleflight): while one
+// caller renders the order or VDR listing, callers arriving with the same
+// key wait for that result instead of re-rendering it. Listings are the
+// portal's broadest reads — every tenant dashboard polls them — so under
+// fan-in they would otherwise serialize the shard sweeps back to back.
+type batchGroup struct {
+	mu    sync.Mutex
+	calls map[string]*batchCall
+}
+
+type batchCall struct {
+	wg  sync.WaitGroup
+	val []byte
+}
+
+// Do returns fn()'s bytes for key, sharing one execution among concurrent
+// callers. The result is only shared, never cached: the next caller after
+// completion re-renders.
+func (g *batchGroup) Do(key string, fn func() []byte) []byte {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*batchCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		mBatchedReads.Inc()
+		return c.val
+	}
+	c := &batchCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val = fn()
+	return c.val
+}

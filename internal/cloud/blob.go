@@ -1,0 +1,251 @@
+package cloud
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// DefaultBlobRetention is the zero-ref retention budget: how many bytes of
+// unreferenced blobs the store keeps resident before the GC actually
+// evicts. Retention is what makes checkpoint churn cheap — a save that
+// replaces a manifest briefly drops its predecessor's layers to zero
+// references, and the next identical save must revive them, not re-store
+// them.
+const DefaultBlobRetention = 32 << 20
+
+// BlobStore is a content-addressed blob store: byte payloads keyed by their
+// sha256, stored once no matter how many owners reference them. It is the
+// storage layer under the layered VDR — the paper leans on Docker's shared
+// base layers to keep per-drone state small, and content addressing is how
+// that sharing becomes measurable: identical layers across checkpoints (or
+// across tenants) cost physical bytes once.
+//
+// Blobs are reference counted, and the refcount drives a deferred GC: Put
+// on an existing digest is a dedup hit and bumps the refcount; Unref drops
+// it, and a blob at zero references moves to a bounded retention pool
+// (FIFO by the order it was freed) instead of being evicted on the spot.
+// A later Put or Ref of the same digest revives it from the pool for free;
+// only when the pool exceeds its byte budget are the oldest zero-ref blobs
+// actually evicted. Without retention, the save → replace → save cycle of
+// a churning drone would thrash: the replacing save unrefs the old
+// generation's layers moments before an identical next generation re-puts
+// them. The cumulative logical/physical write counters never decrease, so
+// the dedup ratio (logical/physical) is monotone and meaningful across
+// churn even as old checkpoint generations are collected.
+type BlobStore struct {
+	mu    sync.Mutex
+	blobs map[string]*blob
+
+	// Zero-ref retention pool: freed blobs queue here until the budget
+	// overflows. Queue entries are matched against the blob's freedSeq so
+	// a revived-then-refreed blob is only evicted at its newest position.
+	retainBytes  int64
+	zeroRefBytes int64
+	gcSeq        uint64
+	gcq          []gcEntry
+
+	// Cumulative write-side accounting (monotone).
+	logicalBytes  int64 // every byte handed to Put
+	physicalBytes int64 // bytes that were actually new
+	dedupHits     int64
+	gcFreedBytes  int64 // bytes actually evicted (not merely unreferenced)
+
+	// Live accounting (follows refs).
+	liveBytes int64
+}
+
+type blob struct {
+	data []byte
+	refs int64
+	// freedSeq is the GC sequence at which refs last hit zero; 0 while
+	// referenced.
+	freedSeq uint64
+}
+
+type gcEntry struct {
+	digest string
+	seq    uint64
+}
+
+// NewBlobStore creates an empty store with the default retention budget.
+func NewBlobStore() *BlobStore {
+	return NewBlobStoreRetain(DefaultBlobRetention)
+}
+
+// NewBlobStoreRetain creates an empty store retaining up to retain bytes
+// of zero-ref blobs (0 evicts eagerly at the last Unref).
+func NewBlobStoreRetain(retain int64) *BlobStore {
+	return &BlobStore{blobs: make(map[string]*blob), retainBytes: retain}
+}
+
+// Digest returns the content address of data.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// reviveLocked pulls a zero-ref blob back out of the retention pool. Its
+// stale queue entry stays behind and misses at trim time (freedSeq moved
+// on).
+func (s *BlobStore) reviveLocked(b *blob) {
+	n := int64(len(b.data))
+	s.zeroRefBytes -= n
+	s.liveBytes += n
+	b.freedSeq = 0
+}
+
+// Put stores data under its content address and returns the digest. If the
+// digest already exists the stored bytes are reused (a dedup hit) and only
+// the reference count grows — including blobs sitting unreferenced in the
+// retention pool, which are revived; either way the caller owns one new
+// reference.
+func (s *BlobStore) Put(data []byte) string {
+	d := Digest(data)
+	n := int64(len(data))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logicalBytes += n
+	if b, ok := s.blobs[d]; ok {
+		if b.refs <= 0 {
+			s.reviveLocked(b)
+		}
+		b.refs++
+		s.dedupHits++
+		mVDRDedupHits.Inc()
+		return d
+	}
+	s.blobs[d] = &blob{data: append([]byte(nil), data...), refs: 1}
+	s.physicalBytes += n
+	s.liveBytes += n
+	return d
+}
+
+// Get returns a copy of the blob's bytes, verifying them against the digest
+// so corrupted storage is an error at read time, never a silently wrong
+// restore.
+func (s *BlobStore) Get(digest string) ([]byte, error) {
+	s.mu.Lock()
+	b, ok := s.blobs[digest]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: blob %.12s", ErrNotFound, digest)
+	}
+	data := append([]byte(nil), b.data...)
+	s.mu.Unlock()
+	if Digest(data) != digest {
+		return nil, fmt.Errorf("%w: blob %.12s fails its digest", ErrLayerCorrupt, digest)
+	}
+	return data, nil
+}
+
+// Ref takes one more reference on an existing blob, reviving it if it was
+// sitting unreferenced in the retention pool. It reports false when the
+// digest is unknown. The read path stays allocation-free (pinned by
+// TestBlobRefOpsZeroAlloc): a map probe and integer bumps under the
+// store's mutex.
+func (s *BlobStore) Ref(digest string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[digest]
+	if !ok {
+		return false
+	}
+	if b.refs <= 0 {
+		s.reviveLocked(b)
+	}
+	b.refs++
+	return true
+}
+
+// Unref drops one reference; the last reference moves the blob into the
+// retention pool and trims the pool to its budget. Unknown digests are
+// ignored (a double-free cannot resurrect accounting).
+func (s *BlobStore) Unref(digest string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[digest]
+	if !ok {
+		return
+	}
+	b.refs--
+	if b.refs <= 0 {
+		n := int64(len(b.data))
+		s.liveBytes -= n
+		s.zeroRefBytes += n
+		s.gcSeq++
+		b.freedSeq = s.gcSeq
+		s.gcq = append(s.gcq, gcEntry{digest: digest, seq: s.gcSeq})
+		s.trimLocked()
+	}
+}
+
+// trimLocked evicts the oldest zero-ref blobs until the retention pool is
+// back under budget. Queue entries whose blob was revived (or re-freed at
+// a newer sequence) are stale and skipped; the deterministic FIFO order
+// means no map iteration on the save path.
+func (s *BlobStore) trimLocked() {
+	for s.zeroRefBytes > s.retainBytes && len(s.gcq) > 0 {
+		e := s.gcq[0]
+		s.gcq = s.gcq[1:]
+		b, ok := s.blobs[e.digest]
+		if !ok || b.refs > 0 || b.freedSeq != e.seq {
+			continue
+		}
+		n := int64(len(b.data))
+		s.zeroRefBytes -= n
+		s.gcFreedBytes += n
+		mVDRGCFreed.Add(float64(n))
+		delete(s.blobs, e.digest)
+	}
+}
+
+// Stat returns a blob's size and reference count without copying it; ok is
+// false for unknown digests (including evicted ones). A retained zero-ref
+// blob reports refs 0. Allocation-free, like Ref.
+func (s *BlobStore) Stat(digest string) (size int64, refs int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, found := s.blobs[digest]
+	if !found {
+		return 0, 0, false
+	}
+	return int64(len(b.data)), b.refs, true
+}
+
+// BlobStats is a point-in-time snapshot of the store's accounting.
+type BlobStats struct {
+	Blobs         int   `json:"blobs"`
+	LiveBytes     int64 `json:"live-bytes"`
+	RetainedBytes int64 `json:"retained-bytes"`
+	LogicalBytes  int64 `json:"logical-bytes"`
+	PhysicalBytes int64 `json:"physical-bytes"`
+	DedupHits     int64 `json:"dedup-hits"`
+	GCFreedBytes  int64 `json:"gc-freed-bytes"`
+}
+
+// DedupRatio is cumulative logical bytes written over physical bytes
+// stored — 1.0 means no sharing, N means every byte was stored once and
+// referenced N times on average. Zero-write stores report 1.0.
+func (st BlobStats) DedupRatio() float64 {
+	if st.PhysicalBytes == 0 {
+		return 1
+	}
+	return float64(st.LogicalBytes) / float64(st.PhysicalBytes)
+}
+
+// Stats snapshots the store's accounting.
+func (s *BlobStore) Stats() BlobStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return BlobStats{
+		Blobs:         len(s.blobs),
+		LiveBytes:     s.liveBytes,
+		RetainedBytes: s.zeroRefBytes,
+		LogicalBytes:  s.logicalBytes,
+		PhysicalBytes: s.physicalBytes,
+		DedupHits:     s.dedupHits,
+		GCFreedBytes:  s.gcFreedBytes,
+	}
+}

@@ -5,16 +5,19 @@
 // virtual drone definitions and saved container state for later use or
 // reuse. The flight planner lives in package planner; package core wires
 // everything together.
+//
+// The data plane is built for many tenants sharing one service: order and
+// storage state is sharded by tenant hash (shard.go), checkpoints are
+// content-addressed and deduplicated (blob.go, vdr.go), and the portal
+// front door applies per-tenant admission control (admission.go).
 package cloud
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"androne/internal/sdk"
 )
@@ -23,6 +26,14 @@ import (
 var (
 	ErrNotFound = errors.New("cloud: not found")
 	ErrExists   = errors.New("cloud: already exists")
+	// ErrQuotaExceeded rejects a write that would push a tenant past its
+	// quota (orders, storage bytes, or VDR layers). The portal maps it to
+	// 413 Request Entity Too Large.
+	ErrQuotaExceeded = errors.New("cloud: tenant quota exceeded")
+	// ErrLayerCorrupt means stored checkpoint bytes no longer match their
+	// content address or cannot be decoded; restoring from them would be
+	// silently wrong, so they are refused loudly.
+	ErrLayerCorrupt = errors.New("cloud: checkpoint layer corrupt")
 )
 
 // --------------------------------------------------------------------------
@@ -84,269 +95,6 @@ func (s *AppStore) List() []StoreApp {
 		out = append(out, a)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Package < out[j].Package })
-	return out
-}
-
-// --------------------------------------------------------------------------
-// Cloud storage
-
-// Storage is the general per-user file storage that flight files are
-// offloaded to; users retrieve files on demand after the flight.
-type Storage struct {
-	mu    sync.Mutex
-	files map[string]map[string][]byte // user -> path -> contents
-}
-
-// NewStorage creates empty storage.
-func NewStorage() *Storage {
-	return &Storage{files: make(map[string]map[string][]byte)}
-}
-
-// Put stores a file for a user.
-func (s *Storage) Put(user, path string, data []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.files[user]
-	if !ok {
-		m = make(map[string][]byte)
-		s.files[user] = m
-	}
-	m[path] = append([]byte(nil), data...)
-}
-
-// Get retrieves a user's file.
-func (s *Storage) Get(user, path string) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	data, ok := s.files[user][path]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, user, path)
-	}
-	return append([]byte(nil), data...), nil
-}
-
-// List returns a user's file paths, sorted.
-func (s *Storage) List(user string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.files[user]))
-	for p := range s.files[user] {
-		out = append(out, p)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// UsageBytes returns a user's stored bytes (the billing input).
-func (s *Storage) UsageBytes(user string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var n int64
-	for _, data := range s.files[user] {
-		n += int64(len(data))
-	}
-	return n
-}
-
-// --------------------------------------------------------------------------
-// Virtual drone repository
-
-// VDREntry is a stored virtual drone: its JSON definition plus, when it has
-// flown before, its container checkpoint (diff from the base image) so it
-// can be resumed on a later flight, on any drone hardware.
-type VDREntry struct {
-	Name       string    `json:"name"`
-	Owner      string    `json:"owner"`
-	Definition []byte    `json:"definition"`
-	Checkpoint []byte    `json:"checkpoint,omitempty"`
-	SavedAt    time.Time `json:"saved-at"`
-	Completed  bool      `json:"completed"`
-}
-
-// VDR is the virtual drone repository.
-type VDR struct {
-	mu      sync.Mutex
-	entries map[string]VDREntry
-}
-
-// NewVDR creates an empty repository.
-func NewVDR() *VDR {
-	return &VDR{entries: make(map[string]VDREntry)}
-}
-
-// Save stores or updates a virtual drone entry.
-func (v *VDR) Save(e VDREntry) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.entries[e.Name] = e
-}
-
-// Load retrieves a virtual drone entry.
-func (v *VDR) Load(name string) (VDREntry, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	e, ok := v.entries[name]
-	if !ok {
-		return VDREntry{}, fmt.Errorf("%w: virtual drone %q", ErrNotFound, name)
-	}
-	return e, nil
-}
-
-// Delete removes an entry.
-func (v *VDR) Delete(name string) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	delete(v.entries, name)
-}
-
-// List returns entries sorted by name.
-func (v *VDR) List() []VDREntry {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	out := make([]VDREntry, 0, len(v.entries))
-	for _, e := range v.entries {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
-
-// --------------------------------------------------------------------------
-// Orders
-
-// OrderStatus tracks a virtual drone order through the Figure 4 workflow.
-type OrderStatus string
-
-// Order statuses.
-const (
-	OrderPending   OrderStatus = "pending"
-	OrderScheduled OrderStatus = "scheduled"
-	OrderFlying    OrderStatus = "flying"
-	OrderCompleted OrderStatus = "completed"
-	OrderSaved     OrderStatus = "saved" // interrupted; resumable from VDR
-)
-
-// AccessInfo is what the portal provides once a drone takes off: how the
-// user may connect to their virtual drone, much like a newly deployed
-// cloud server.
-type AccessInfo struct {
-	VFCAddr string `json:"vfc-addr"`
-	SSHAddr string `json:"ssh-addr"`
-	VPNKey  string `json:"vpn-key"`
-}
-
-// Order is a virtual drone order.
-type Order struct {
-	ID         string          `json:"id"`
-	User       string          `json:"user"`
-	Name       string          `json:"name"` // virtual drone name
-	Definition json.RawMessage `json:"definition"`
-	Status     OrderStatus     `json:"status"`
-	// WindowStartS/WindowEndS estimate when the drone reaches the order's
-	// first waypoint, as seconds from flight start.
-	WindowStartS float64    `json:"window-start-s"`
-	WindowEndS   float64    `json:"window-end-s"`
-	Access       AccessInfo `json:"access"`
-	// EstimatedCharge previews the energy bill for the allotment.
-	EstimatedCharge float64 `json:"estimated-charge"`
-
-	// gen counts committed mutations; Update uses it to detect conflicting
-	// writers without holding the lock across the caller's function.
-	gen uint64
-}
-
-// Orders tracks portal orders.
-type Orders struct {
-	mu     sync.Mutex
-	next   int
-	orders map[string]*Order
-}
-
-// NewOrders creates an empty order book.
-func NewOrders() *Orders {
-	return &Orders{orders: make(map[string]*Order)}
-}
-
-// Create registers a new pending order and assigns its id. An empty name
-// defaults to the id. The returned Order is the caller's private copy.
-func (o *Orders) Create(user, name string, def json.RawMessage) *Order {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.next++
-	ord := &Order{
-		ID:         fmt.Sprintf("ord-%04d", o.next),
-		User:       user,
-		Name:       name,
-		Definition: append(json.RawMessage(nil), def...),
-		Status:     OrderPending,
-	}
-	if ord.Name == "" {
-		ord.Name = ord.ID
-	}
-	o.orders[ord.ID] = ord
-	cp := *ord
-	return &cp
-}
-
-// Get retrieves a snapshot of an order. Returning a copy keeps readers
-// (e.g. handlers serializing the order) race-free against Update.
-func (o *Orders) Get(id string) (*Order, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	ord, ok := o.orders[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: order %q", ErrNotFound, id)
-	}
-	cp := *ord
-	return &cp, nil
-}
-
-// Update applies fn to an order atomically. fn runs on a private copy with
-// no lock held — it may not observe other orders mid-change, and it cannot
-// deadlock by calling back into Orders. The mutation commits only if no
-// other writer got there first; on conflict the read-modify-write retries
-// with a fresh copy.
-func (o *Orders) Update(id string, fn func(*Order)) error {
-	for {
-		o.mu.Lock()
-		ord, ok := o.orders[id]
-		if !ok {
-			o.mu.Unlock()
-			return fmt.Errorf("%w: order %q", ErrNotFound, id)
-		}
-		cp := *ord
-		o.mu.Unlock()
-
-		fn(&cp)
-
-		o.mu.Lock()
-		cur, ok := o.orders[id]
-		if !ok {
-			o.mu.Unlock()
-			return fmt.Errorf("%w: order %q", ErrNotFound, id)
-		}
-		if cur.gen != cp.gen {
-			o.mu.Unlock()
-			continue
-		}
-		cp.gen++
-		*cur = cp
-		o.mu.Unlock()
-		return nil
-	}
-}
-
-// List returns orders sorted by id, optionally filtered by user ("" = all).
-func (o *Orders) List(user string) []Order {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	out := make([]Order, 0, len(o.orders))
-	for _, ord := range o.orders {
-		if user == "" || ord.User == user {
-			out = append(out, *ord)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

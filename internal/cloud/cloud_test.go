@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -60,11 +61,18 @@ func TestAppStoreRejectsBadApps(t *testing.T) {
 	}
 }
 
+func mustPut(t *testing.T, st *Storage, user, path string, data []byte) {
+	t.Helper()
+	if err := st.Put(user, path, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestStorage(t *testing.T) {
 	st := NewStorage()
-	st.Put("alice", "/flight-1/survey.mp4", []byte("video"))
-	st.Put("alice", "/flight-1/report.json", []byte("{}"))
-	st.Put("bob", "/flight-2/photo.jpg", []byte("jpeg"))
+	mustPut(t, st, "alice", "/flight-1/survey.mp4", []byte("video"))
+	mustPut(t, st, "alice", "/flight-1/report.json", []byte("{}"))
+	mustPut(t, st, "bob", "/flight-2/photo.jpg", []byte("jpeg"))
 
 	got, err := st.Get("alice", "/flight-1/survey.mp4")
 	if err != nil || !bytes.Equal(got, []byte("video")) {
@@ -88,7 +96,9 @@ func TestVDR(t *testing.T) {
 	v := NewVDR()
 	e := VDREntry{Name: "vd1", Owner: "alice", Definition: []byte("{}"),
 		Checkpoint: []byte("diff"), SavedAt: time.Unix(1700000000, 0)}
-	v.Save(e)
+	if err := v.Save(e); err != nil {
+		t.Fatal(err)
+	}
 	got, err := v.Load("vd1")
 	if err != nil {
 		t.Fatal(err)
@@ -110,8 +120,14 @@ func TestVDR(t *testing.T) {
 
 func TestOrders(t *testing.T) {
 	o := NewOrders()
-	a := o.Create("alice", "survey-drone", json.RawMessage(`{"waypoints":[]}`))
-	b := o.Create("bob", "b", json.RawMessage(`{}`))
+	a, err := o.Create("alice", "survey-drone", json.RawMessage(`{"waypoints":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.Create("bob", "b", json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.ID == b.ID {
 		t.Fatal("duplicate order ids")
 	}
@@ -316,7 +332,7 @@ func TestPortalAppStoreAPI(t *testing.T) {
 
 func TestPortalFilesAPI(t *testing.T) {
 	p, srv := newTestPortal(t)
-	p.Files.Put("alice", "/flight-1/survey.mp4", []byte("video-bytes"))
+	mustPut(t, p.Files, "alice", "/flight-1/survey.mp4", []byte("video-bytes"))
 
 	resp, err := http.Get(srv.URL + "/api/files/alice")
 	if err != nil {
@@ -359,7 +375,9 @@ func TestPortalFilesAPI(t *testing.T) {
 
 func TestPortalVDRAPI(t *testing.T) {
 	p, srv := newTestPortal(t)
-	p.Repo.Save(VDREntry{Name: "vd1", Owner: "alice", Definition: []byte("{}"), Checkpoint: []byte("big")})
+	if err := p.Repo.Save(VDREntry{Name: "vd1", Owner: "alice", Definition: []byte("{}"), Checkpoint: []byte("big")}); err != nil {
+		t.Fatal(err)
+	}
 
 	resp, err := http.Get(srv.URL + "/api/vdr")
 	if err != nil {
@@ -393,13 +411,52 @@ func TestPortalOrderNameDefaults(t *testing.T) {
 	}
 }
 
+// TestOrderIDsSequential pins the sharded ID contract: every ID is unique
+// across the whole book, carries its owning shard's prefix, and is
+// monotonically increasing within that shard — the properties the old
+// single-counter test checked, generalized to N counters.
 func TestOrderIDsSequential(t *testing.T) {
 	o := NewOrders()
-	for i := 1; i <= 3; i++ {
-		ord := o.Create("u", "n", nil)
-		want := fmt.Sprintf("ord-%04d", i)
-		if ord.ID != want {
-			t.Fatalf("id = %q, want %q", ord.ID, want)
+	seen := make(map[string]bool)
+	lastPerShard := make(map[int]string)
+	for i := 0; i < 10; i++ {
+		for _, user := range []string{"alice", "bob", "carol", "dave"} {
+			ord, err := o.Create(user, "n", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[ord.ID] {
+				t.Fatalf("duplicate id %q", ord.ID)
+			}
+			seen[ord.ID] = true
+			shard := ShardOf(user)
+			if want := fmt.Sprintf("ord-%02d-", shard); !strings.HasPrefix(ord.ID, want) {
+				t.Fatalf("id %q lacks shard prefix %q", ord.ID, want)
+			}
+			if last := lastPerShard[shard]; last != "" && ord.ID <= last {
+				t.Fatalf("shard %d id %q not after %q", shard, ord.ID, last)
+			}
+			lastPerShard[shard] = ord.ID
 		}
+	}
+}
+
+// TestOrdersQuota pins the per-tenant order cap: the quota'd tenant is
+// refused with ErrQuotaExceeded while other tenants keep ordering.
+func TestOrdersQuota(t *testing.T) {
+	o := NewOrdersWith(Quotas{MaxOrdersPerTenant: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := o.Create("alice", "n", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := o.Create("alice", "n", nil); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+	if _, err := o.Create("bob", "n", nil); err != nil {
+		t.Fatalf("other tenant refused: %v", err)
+	}
+	if n := o.Count("alice"); n != 2 {
+		t.Fatalf("Count(alice) = %d", n)
 	}
 }

@@ -30,6 +30,9 @@ type Portal struct {
 	Estimate EstimateFunc
 
 	mux *http.ServeMux
+	// batch coalesces concurrent identical listing reads (order and VDR
+	// listings), the portal's hottest fan-in endpoints.
+	batch batchGroup
 }
 
 // NewPortal assembles the portal over the cloud components. validate may be
@@ -68,6 +71,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrExists):
 		status = http.StatusConflict
+	case errors.Is(err, ErrQuotaExceeded):
+		status = http.StatusRequestEntityTooLarge
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -130,7 +135,11 @@ func (p *Portal) createOrder(w http.ResponseWriter, r *http.Request) {
 	if req.Name == "" {
 		name = ""
 	}
-	ord := p.Orders.Create(req.User, name, req.Definition)
+	ord, err := p.Orders.Create(req.User, name, req.Definition)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	if p.Estimate != nil {
 		if charge, ws, we, err := p.Estimate(req.Definition); err == nil {
 			_ = p.Orders.Update(ord.ID, func(o *Order) {
@@ -147,8 +156,23 @@ func (p *Portal) createOrder(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, got)
 }
 
+// writeJSONBytes writes a pre-rendered JSON body (the batched listings).
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
 func (p *Portal) listOrders(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, p.Orders.List(r.URL.Query().Get("user")))
+	user := r.URL.Query().Get("user")
+	body := p.batch.Do("orders:"+user, func() []byte {
+		b, err := json.Marshal(p.Orders.List(user))
+		if err != nil {
+			return []byte("[]")
+		}
+		return b
+	})
+	writeJSONBytes(w, http.StatusOK, body)
 }
 
 func (p *Portal) getOrder(w http.ResponseWriter, r *http.Request) {
@@ -181,11 +205,14 @@ func (p *Portal) getFile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (p *Portal) listVDR(w http.ResponseWriter, r *http.Request) {
-	entries := p.Repo.List()
-	// Strip checkpoint bytes from listings.
-	for i := range entries {
-		entries[i].Checkpoint = nil
-		entries[i].Definition = nil
-	}
-	writeJSON(w, http.StatusOK, entries)
+	// Manifests are the layer-level view: a few hundred bytes per entry,
+	// no checkpoint reassembly, no payload bytes leaked into listings.
+	body := p.batch.Do("vdr", func() []byte {
+		b, err := json.Marshal(p.Repo.Manifests())
+		if err != nil {
+			return []byte("[]")
+		}
+		return b
+	})
+	writeJSONBytes(w, http.StatusOK, body)
 }

@@ -1,0 +1,91 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestStorageQuota exercises the per-tenant byte quota: writes past the cap
+// fail typed, overwrites are delta-charged, and tenants are isolated.
+func TestStorageQuota(t *testing.T) {
+	s := NewStorageWith(Quotas{MaxStorageBytesPerTenant: 10})
+	if err := s.Put("alice", "a.bin", []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("alice", "b.bin", []byte("123")); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota put: %v", err)
+	}
+	// The refused write must not be partially applied.
+	if _, err := s.Get("alice", "b.bin"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("refused file exists: %v", err)
+	}
+	if got := s.UsageBytes("alice"); got != 8 {
+		t.Fatalf("usage = %d, want 8", got)
+	}
+	// Overwriting the same path is charged by the delta: shrinking frees.
+	if err := s.Put("alice", "a.bin", []byte("1234")); err != nil {
+		t.Fatalf("shrinking overwrite: %v", err)
+	}
+	if got := s.UsageBytes("alice"); got != 4 {
+		t.Fatalf("usage after shrink = %d, want 4", got)
+	}
+	if err := s.Put("alice", "b.bin", []byte("123456")); err != nil {
+		t.Fatalf("put inside freed quota: %v", err)
+	}
+	// Growing past the cap fails even for an existing path.
+	if err := s.Put("alice", "a.bin", bytes.Repeat([]byte("x"), 8)); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("growing overwrite past quota: %v", err)
+	}
+	// Bob has his own account.
+	if err := s.Put("bob", "b.bin", []byte("0123456789")); err != nil {
+		t.Fatalf("bob throttled by alice: %v", err)
+	}
+	// The unlimited default still works.
+	free := NewStorage()
+	if err := free.Put("carol", "big.bin", bytes.Repeat([]byte("y"), 1<<16)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPortalQuotaMapsTo413 drives a tenant over its order quota through
+// the HTTP API and expects 413 with the typed error's message, while
+// another tenant still orders fine.
+func TestPortalQuotaMapsTo413(t *testing.T) {
+	orders := NewOrdersWith(Quotas{MaxOrdersPerTenant: 1})
+	p := NewPortal(NewAppStore(), NewStorage(), NewVDR(), orders, nil, nil)
+
+	post := func(user, name string) *httptest.ResponseRecorder {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{
+			"user": user, "name": name, "definition": json.RawMessage(`{"waypoints":[]}`),
+		})
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/api/orders", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		p.ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := post("alice", "first"); rec.Code != http.StatusCreated {
+		t.Fatalf("first order: %d %s", rec.Code, rec.Body)
+	}
+	rec := post("alice", "second")
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-quota order: %d %s", rec.Code, rec.Body)
+	}
+	var errBody map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &errBody); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBody["error"], "quota") {
+		t.Fatalf("error body %q does not mention the quota", errBody["error"])
+	}
+	if rec := post("bob", "only"); rec.Code != http.StatusCreated {
+		t.Fatalf("bob throttled by alice's quota: %d %s", rec.Code, rec.Body)
+	}
+}

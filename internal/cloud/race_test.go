@@ -13,7 +13,10 @@ import (
 // is atomic: every one of the N increments below must land.
 func TestOrdersConcurrentAccess(t *testing.T) {
 	o := NewOrders()
-	ord := o.Create("alice", "stress", json.RawMessage(`{}`))
+	ord, err := o.Create("alice", "stress", json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	const writers = 8
 	const perWriter = 50
@@ -42,7 +45,10 @@ func TestOrdersConcurrentAccess(t *testing.T) {
 					return
 				}
 				o.List("alice")
-				o.Create("bob", fmt.Sprintf("b-%d-%d", r, i), json.RawMessage(`{}`))
+				if _, err := o.Create("bob", fmt.Sprintf("b-%d-%d", r, i), json.RawMessage(`{}`)); err != nil {
+					t.Errorf("Create: %v", err)
+					return
+				}
 			}
 		}(r)
 	}
@@ -61,7 +67,10 @@ func TestOrdersConcurrentAccess(t *testing.T) {
 // not leak into the store.
 func TestOrdersSnapshotIsolation(t *testing.T) {
 	o := NewOrders()
-	ord := o.Create("alice", "iso", json.RawMessage(`{}`))
+	ord, err := o.Create("alice", "iso", json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
 	ord.Status = OrderFlying // caller scribbles on its copy
 
 	got, err := o.Get(ord.ID)

@@ -38,6 +38,12 @@ func TestLayerContentAddressing(t *testing.T) {
 
 func TestLayerDigestProperty(t *testing.T) {
 	if err := quick.Check(func(p1, p2 string, b1, b2 []byte) bool {
+		if p1 == p2 {
+			// Duplicate keys collapse to whichever literal entry is last,
+			// so the two maps would hold different values — not an
+			// ordering property at all.
+			return true
+		}
 		l1 := NewLayer(map[string][]byte{p1: b1, p2: b2})
 		l2 := NewLayer(map[string][]byte{p2: b2, p1: b1})
 		return l1.Digest() == l2.Digest()

@@ -17,6 +17,9 @@
 //   - Flight: the controller's owner lock wraps the flight log's lock in
 //     the fast loop (both short, leaf-ordered critical sections; the
 //     controller lock is also on the sanctioned hot-path list).
+//   - Cloud VDR: the repository's manifest lock wraps the content-
+//     addressed blob store's lock while a save puts and unrefs layers, so
+//     the quota check and the layer swap commit atomically.
 //
 // Locks with no rank are unconstrained by this table (their nesting is
 // still watched by the cycle and inconsistent-pair rules); add a rank here
@@ -35,4 +38,7 @@
 //
 //vet:lockrank 80 androne/internal/flight.Controller.mu flight fast-loop owner lock
 //vet:lockrank 90 androne/internal/flight.Log.mu flight log leaf, taken inside the step
+//
+//vet:lockrank 100 androne/internal/cloud.VDR.mu manifest lock wraps blob-store puts/unrefs
+//vet:lockrank 110 androne/internal/cloud.BlobStore.mu content-addressed store leaf
 package core

@@ -124,7 +124,11 @@ func (d *Drone) ExecuteRoute(route planner.Route, env *CloudEnv) (*FlightReport,
 				continue
 			}
 			dst := path.Join("/", name, p)
-			env.Storage.Put(vd.Def.Owner, dst, data)
+			// A tenant over storage quota loses the offload, not the
+			// flight: the file stays retrievable from the container.
+			if err := env.Storage.Put(vd.Def.Owner, dst, data); err != nil {
+				continue
+			}
 			rep.Files = append(rep.Files, dst)
 		}
 		rep.Completed = vd.Done()
@@ -135,7 +139,9 @@ func (d *Drone) ExecuteRoute(route planner.Route, env *CloudEnv) (*FlightReport,
 		if err != nil {
 			return nil, err
 		}
-		env.VDR.Save(entry)
+		if err := env.VDR.Save(entry); err != nil {
+			return nil, err
+		}
 	}
 
 	report.DurationS = d.Sim.Now().Sub(startTime).Seconds()

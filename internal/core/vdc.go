@@ -38,8 +38,9 @@ const definitionPath = "/data/androne/definition.json"
 // progressPath persists VDC-level flight progress (visited waypoints,
 // remaining allotment) so a virtual drone resumed from the VDR continues
 // where it left off rather than revisiting waypoints or regaining spent
-// budget.
-const progressPath = "/data/androne/progress.json"
+// budget. The layered VDR keys its app-set/state layer split on the same
+// path, so the two constants must agree.
+const progressPath = cloud.FlightProgressPath
 
 // progressState is the serialized VDC progress.
 type progressState struct {

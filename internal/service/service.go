@@ -19,6 +19,8 @@ import (
 	"androne/internal/energy"
 	"androne/internal/geo"
 	"androne/internal/planner"
+	"androne/internal/sdk"
+	"androne/internal/telemetry"
 )
 
 // Errors.
@@ -36,6 +38,16 @@ type Config struct {
 	Rates energy.Rates
 	// Seed makes the simulated fleet deterministic.
 	Seed string
+	// Quotas bounds each tenant's orders, storage bytes, and VDR layers;
+	// the zero value takes cloud.DefaultQuotas.
+	Quotas cloud.Quotas
+	// Admission tunes the portal front door (token buckets, bounded
+	// queue); zero-value fields take the cloud defaults.
+	Admission cloud.AdmissionConfig
+	// Blobs optionally shares a content-addressed blob store with other
+	// service instances, so checkpoint layers dedup across them. Nil means
+	// a private store.
+	Blobs *cloud.BlobStore
 }
 
 // DefaultConfig returns a single-drone service at the paper's test site.
@@ -50,12 +62,19 @@ func DefaultConfig() Config {
 
 // Service is the running AnDrone service.
 type Service struct {
-	cfg    Config
-	portal *cloud.Portal
-	apps   *cloud.AppStore
-	files  *cloud.Storage
-	vdr    *cloud.VDR
-	orders *cloud.Orders
+	cfg     Config
+	portal  *cloud.Portal
+	apps    *cloud.AppStore
+	files   *cloud.Storage
+	vdr     *cloud.VDR
+	orders  *cloud.Orders
+	handler http.Handler
+	// flyCh hands flight requests to the fly worker goroutine. The HTTP
+	// fly handler only performs channel sends/receives: flight-critical
+	// locks (binder, flight controller, flight log) are acquired on the
+	// worker, never on a tenant-reachable call path — the lockorder
+	// critical-path rule convicts the inline alternative.
+	flyCh chan chan flyResult
 
 	mu    sync.Mutex
 	fleet []*core.Drone
@@ -63,17 +82,38 @@ type Service struct {
 	defs  map[string]*core.Definition // staged definitions by vdrone name
 }
 
+type flyResult struct {
+	reports []*core.FlightReport
+	err     error
+}
+
+// flyLoop is the fly worker: it serializes flight execution (the simulated
+// fleet is single-threaded anyway) and keeps it off HTTP handler stacks.
+func (s *Service) flyLoop() {
+	for resp := range s.flyCh {
+		reports, err := s.Run()
+		resp <- flyResult{reports: reports, err: err}
+	}
+}
+
 // New boots the service: cloud components, portal, and the physical fleet.
 func New(cfg Config) (*Service, error) {
 	if cfg.FleetSize <= 0 {
 		cfg.FleetSize = 1
 	}
+	if cfg.Quotas == (cloud.Quotas{}) {
+		cfg.Quotas = cloud.DefaultQuotas()
+	}
+	blobs := cfg.Blobs
+	if blobs == nil {
+		blobs = cloud.NewBlobStore()
+	}
 	s := &Service{
 		cfg:    cfg,
 		apps:   cloud.NewAppStore(),
-		files:  cloud.NewStorage(),
-		vdr:    cloud.NewVDR(),
-		orders: cloud.NewOrders(),
+		files:  cloud.NewStorageWith(cfg.Quotas),
+		vdr:    cloud.NewVDRWith(blobs, cfg.Quotas),
+		orders: cloud.NewOrdersWith(cfg.Quotas),
 		bills:  make(map[string]energy.Bill),
 		defs:   make(map[string]*core.Definition),
 	}
@@ -105,11 +145,165 @@ func New(cfg Config) (*Service, error) {
 		apps.RegisterAll(d.VDC)
 		s.fleet = append(s.fleet, d)
 	}
+	s.flyCh = make(chan chan flyResult)
+	go s.flyLoop()
+	s.handler = s.assembleHandler()
 	return s, nil
 }
 
-// Handler returns the portal's HTTP handler.
-func (s *Service) Handler() http.Handler { return s.portal }
+// Close stops the fly worker. The HTTP fly endpoint must not be used after
+// Close; the rest of the service keeps working.
+func (s *Service) Close() { close(s.flyCh) }
+
+// assembleHandler builds the service's full HTTP surface: the portal API
+// plus the operator endpoints, with the /api/ routes behind admission
+// control. /metrics and /debug/trace stay outside admission — the ops
+// plane must answer precisely when the service is shedding.
+func (s *Service) assembleHandler() http.Handler {
+	api := http.NewServeMux()
+	api.Handle("/", s.portal)
+	api.HandleFunc("POST /api/admin/fly", s.handleFly)
+	api.HandleFunc("GET /api/admin/bills", s.handleBills)
+	admitted := cloud.NewAdmission(s.cfg.Admission).Wrap(api)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", admitted)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, telemetry.DefaultRegistry.Exposition())
+	})
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleFly plans and flies all pending orders (POST /api/admin/fly). The
+// flight itself runs on the fly worker; this handler just waits for it.
+func (s *Service) handleFly(w http.ResponseWriter, r *http.Request) {
+	resp := make(chan flyResult, 1)
+	s.flyCh <- resp
+	res := <-resp
+	reports, err := res.reports, res.err
+	if errors.Is(err, ErrNothingToFly) {
+		writeJSON(w, http.StatusOK, map[string]any{"flights": 0})
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	type flightSummary struct {
+		DurationS float64 `json:"duration-s"`
+		EnergyJ   float64 `json:"energy-j"`
+		Home      bool    `json:"returned-home"`
+		AEDPass   bool    `json:"aed-pass"`
+	}
+	out := make([]flightSummary, 0, len(reports))
+	for _, rep := range reports {
+		out = append(out, flightSummary{
+			DurationS: rep.DurationS, EnergyJ: rep.FlightEnergyJ,
+			Home: rep.ReturnedHome, AEDPass: rep.AED.Pass,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"flights": len(out), "reports": out})
+}
+
+// handleBills lists settled bills by order id (GET /api/admin/bills).
+func (s *Service) handleBills(w http.ResponseWriter, r *http.Request) {
+	bills := make(map[string]map[string]float64)
+	for _, ord := range s.orders.List("") {
+		if b, ok := s.BillFor(ord.ID); ok {
+			bills[ord.ID] = map[string]float64{
+				"energy": b.EnergyCharge, "storage": b.StorageCharge,
+				"network": b.NetworkCharge, "total": b.Total(),
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, bills)
+}
+
+// handleTrace dumps recent trace events per fleet drone (GET /debug/trace);
+// filter with ?drone=<virtual drone name>.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	droneName := r.URL.Query().Get("drone")
+	key := telemetry.Key(0)
+	if droneName != "" {
+		// Lookup, not K: query strings must not grow the intern table.
+		k, ok := telemetry.Lookup(droneName)
+		if !ok {
+			writeJSON(w, http.StatusNotFound,
+				map[string]string{"error": "unknown drone: " + droneName})
+			return
+		}
+		key = k
+	}
+	type fleetTrace struct {
+		Fleet  int                     `json:"fleet"`
+		Events []telemetry.RecordEvent `json:"events"`
+	}
+	out := make([]fleetTrace, 0, len(s.fleet))
+	for i, d := range s.fleet {
+		out = append(out, fleetTrace{
+			Fleet:  i,
+			Events: telemetry.DecodeEvents(d.Tel.Snapshot(key)),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Handler returns the service's HTTP surface: the portal API and operator
+// endpoints behind admission control, plus /metrics and /debug/trace.
+func (s *Service) Handler() http.Handler { return s.handler }
+
+// SeedDemoApps publishes the reference apps so the store is browsable out
+// of the box.
+func (s *Service) SeedDemoApps() error {
+	entries := []struct {
+		pkg, desc, manifest string
+	}{
+		{apps.SurveyPackage, "autonomous aerial survey with lawnmower sweeps", `
+<androne-manifest package="com.androne.survey">
+  <uses-permission name="camera" type="waypoint"/>
+  <uses-permission name="flight-control" type="waypoint"/>
+  <argument name="survey-areas" type="polygon-list" required="true"/>
+  <argument name="spacing-m" type="number" required="false"/>
+  <argument name="use-mission" type="bool" required="false"/>
+</androne-manifest>`},
+		{apps.PhotoPackage, "aerial snapshots at a waypoint", `
+<androne-manifest package="com.androne.photo">
+  <uses-permission name="camera" type="waypoint"/>
+  <argument name="shots" type="number" required="false"/>
+</androne-manifest>`},
+		{apps.TrafficWatchPackage, "continuous traffic filming between waypoints", `
+<androne-manifest package="com.androne.trafficwatch">
+  <uses-permission name="camera" type="continuous"/>
+  <uses-permission name="gps" type="continuous"/>
+</androne-manifest>`},
+		{apps.RemoteControlPackage, "interactive drone control from a smartphone", `
+<androne-manifest package="com.androne.remotecontrol">
+  <uses-permission name="camera" type="waypoint"/>
+  <uses-permission name="flight-control" type="waypoint"/>
+</androne-manifest>`},
+	}
+	for _, e := range entries {
+		m, err := sdk.ParseManifest([]byte(e.manifest))
+		if err != nil {
+			return err
+		}
+		if err := s.apps.Publish(cloud.StoreApp{
+			Package: e.pkg, Description: e.desc, Manifest: m,
+			APK: []byte("apk:" + e.pkg),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // AppStore exposes the app store for seeding.
 func (s *Service) AppStore() *cloud.AppStore { return s.apps }
@@ -312,6 +506,5 @@ func (s *Service) OrderJSON(user, name string, def *core.Definition) (*cloud.Ord
 	if err := core.ValidateDefinitionJSON(raw); err != nil {
 		return nil, err
 	}
-	ord := s.orders.Create(user, cloud.SanitizeName(name), json.RawMessage(raw))
-	return ord, nil
+	return s.orders.Create(user, cloud.SanitizeName(name), json.RawMessage(raw))
 }

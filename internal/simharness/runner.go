@@ -180,7 +180,10 @@ func NewRunner(sc *Scenario) (*Runner, error) {
 		if err != nil {
 			return nil, err
 		}
-		ord := r.orders.Create(spec.Owner, spec.Name, defJSON)
+		ord, err := r.orders.Create(spec.Owner, spec.Name, defJSON)
+		if err != nil {
+			return nil, fmt.Errorf("simharness: ordering %q: %w", spec.Name, err)
+		}
 		if _, err := d.VDC.Create(def); err != nil {
 			return nil, fmt.Errorf("simharness: creating %q: %w", spec.Name, err)
 		}
@@ -553,7 +556,10 @@ func (r *Runner) saveRestore(name string) {
 		r.Violate("restore-roundtrip", name, "save failed: "+err.Error())
 		return
 	}
-	r.env.VDR.Save(entry)
+	if err := r.env.VDR.Save(entry); err != nil {
+		r.Violate("restore-roundtrip", name, "VDR save failed: "+err.Error())
+		return
+	}
 	r.event("save", name, fmt.Sprintf("checkpointed to VDR (%d/%d waypoints)", beforeVisited, beforeTotal))
 
 	loaded, err := r.env.VDR.Load(name)
@@ -883,7 +889,10 @@ func (r *Runner) offloadAndSave() {
 				continue
 			}
 			dst := path.Join("/", name, p)
-			r.env.Storage.Put(vd.Def.Owner, dst, data)
+			if err := r.env.Storage.Put(vd.Def.Owner, dst, data); err != nil {
+				r.Violate("file-delivery", name, "offload refused: "+err.Error())
+				continue
+			}
 			m.files = append(m.files, dst)
 		}
 		sort.Strings(m.files)
@@ -897,7 +906,10 @@ func (r *Runner) offloadAndSave() {
 			r.Violate("vdr-save", name, err.Error())
 			continue
 		}
-		r.env.VDR.Save(entry)
+		if err := r.env.VDR.Save(entry); err != nil {
+			r.Violate("vdr-save", name, err.Error())
+			continue
+		}
 		m.saved = true
 		r.event("saved", name, fmt.Sprintf("to VDR, completed=%v", completed))
 

@@ -28,6 +28,7 @@
 package simharness
 
 import (
+	"androne/internal/core"
 	"androne/internal/flight"
 	"androne/internal/mavproxy"
 	"androne/internal/sched"
@@ -246,9 +247,21 @@ func (r *Runner) faultDueTick(f *faultState) (int, bool) {
 //
 //vet:detpath event-driven scenario runs feed the same trace hashes as lockstep
 func RunScenarioMode(sc *Scenario, mode Mode) (*Result, error) {
+	return RunScenarioOver(sc, mode, nil)
+}
+
+// RunScenarioOver runs sc like RunScenarioMode but over a caller-supplied
+// cloud environment (nil means a private one). Sharing an environment lets
+// many scenario runs save into one storage/VDR pair — the load harness's
+// churn workload saves every run's checkpoints through one content-
+// addressed blob store to make the cross-run dedup ratio measurable.
+func RunScenarioOver(sc *Scenario, mode Mode, env *core.CloudEnv) (*Result, error) {
 	r, err := NewRunner(sc)
 	if err != nil {
 		return nil, err
+	}
+	if env != nil {
+		r.env = env
 	}
 	r.mode = mode
 	if mode == ModeEvent {
