@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet androne-vet vet-ip vet-effects vet-locks vet-smoke vet-stale sim telemetry fleet equivalence fleet10k-smoke scale-smoke cloud-smoke load-smoke fuzz cover check clean
+.PHONY: all build test race vet androne-vet vet-ip vet-effects vet-locks vet-smoke vet-stale sim telemetry fleet equivalence fleet10k-smoke scale-smoke cloud-smoke load-smoke planner-smoke fuzz cover check clean
 
 all: build
 
@@ -144,6 +144,15 @@ scale-smoke: build
 cloud-smoke: build
 	$(GO) run ./cmd/androne-bench -exp cloud -cloud-smoke
 
+# Reduced planner kernel gate: the incremental annealing kernel against the
+# cloning baseline at CI sizes (>= 25x ns/move), bit-level incremental-vs-
+# naive cost parity, bit-identical restart winners at workers=1 vs a
+# parallel pool, and the planner-to-fleet campaign loop with its sabotage
+# negative control. BENCH_planner.json at the repo root is the committed
+# full-size run.
+planner-smoke: build
+	$(GO) run ./cmd/androne-bench -exp planner -planner-smoke
+
 # A tiny androne-load run end to end through the CLI: proves the traffic
 # harness itself works (flags, in-process service boot, JSON output).
 load-smoke: build
@@ -157,6 +166,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTunnelOpen -fuzztime=$(FUZZTIME) ./internal/netem
 	$(GO) test -run='^$$' -fuzz=FuzzVFCStateMachine -fuzztime=$(FUZZTIME) ./internal/mavproxy
 	$(GO) test -run='^$$' -fuzz=FuzzQueueOps -fuzztime=$(FUZZTIME) ./internal/sched
+	$(GO) test -run='^$$' -fuzz=FuzzPlannerPlan -fuzztime=$(FUZZTIME) ./internal/planner
 
 # Coverage ratchet: total statement coverage must not drop below the floor
 # recorded in coverage-baseline.txt. Raise the floor when coverage grows.
@@ -169,7 +179,7 @@ cover:
 		{ echo "total coverage $$total% fell below the $$floor% floor"; exit 1; }
 
 # Everything CI enforces, in CI's order.
-check: build vet vet-ip vet-locks vet-stale test race sim telemetry equivalence fleet fleet10k-smoke scale-smoke cloud-smoke load-smoke fuzz
+check: build vet vet-ip vet-locks vet-stale test race sim telemetry equivalence fleet fleet10k-smoke scale-smoke cloud-smoke planner-smoke load-smoke fuzz
 
 clean:
 	$(GO) clean ./...

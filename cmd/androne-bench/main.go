@@ -70,6 +70,8 @@ func main() {
 	fleet10kSmokeFlag := flag.Bool("fleet10k-smoke", false, "run the reduced fleet10k gate for CI instead of the full experiment")
 	cloudOut := flag.String("cloud-out", "", "write the cloud experiment's JSON here")
 	cloudSmokeFlag := flag.Bool("cloud-smoke", false, "run the reduced cloud service-plane gate for CI instead of the full experiment")
+	plannerOut := flag.String("planner-out", "", "write the planner experiment's JSON here")
+	plannerSmokeFlag := flag.Bool("planner-smoke", false, "run the reduced planner kernel gate for CI instead of the full experiment")
 	flag.Parse()
 
 	run := map[string]func() error{
@@ -101,6 +103,13 @@ func main() {
 				o.cfg.Seed = *seed + "-cloud-smoke"
 			}
 			return cloudBench(o)
+		},
+		"planner": func() error {
+			o := plannerOpts{out: *plannerOut, seed: *seed}
+			if *plannerSmokeFlag {
+				o = plannerSmokeOpts(o)
+			}
+			return plannerBench(o)
 		},
 	}
 	names := []string{"table1", "fig10", "fig11", "fig12", "fig13", "net", "gcs", "jitter", "aed", "sitl"}

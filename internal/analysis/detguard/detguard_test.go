@@ -14,6 +14,7 @@ import (
 func TestDetGuard(t *testing.T) {
 	analysistest.Run(t, "testdata", detguard.Analyzer,
 		"androne/internal/fleet",
+		"androne/internal/planner",
 		"detbad",
 	)
 }

@@ -1,0 +1,83 @@
+// Package planner is a fixture standing in for the real flight planner:
+// the detguard root mirrors the production //vet:detpath annotation on
+// Plan/annealRestarts and exercises the clean idioms the analyzer must
+// accept — a bounded worker pool that writes results into an indexed
+// slice (no ordering dependence on goroutine interleaving) and first-seen
+// slice collection instead of ranging a map.
+package planner
+
+import "sync"
+
+// restart is one annealing chain's outcome.
+type restart struct {
+	cost int64
+	next []int32
+}
+
+// plan fans restarts across a worker pool and picks the winner by
+// (cost, index): results land in a slice indexed by restart, so the
+// outcome is independent of which worker ran which chain.
+//
+//vet:detpath plans must be bit-identical across runs and worker counts
+func plan(seeds []int64, workers int) []int32 {
+	results := make([]restart, len(seeds))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = chain(seeds[i])
+			}
+		}()
+	}
+	for i := range seeds {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	best := 0
+	for i := 1; i < len(results); i++ {
+		if results[i].cost < results[best].cost {
+			best = i
+		}
+	}
+	return repair(results[best].next)
+}
+
+// chain is one deterministic annealing chain (seeded arithmetic only).
+func chain(seed int64) restart {
+	state := uint64(seed)
+	next := make([]int32, 8)
+	for i := range next {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		next[i] = int32(state % 8)
+	}
+	return restart{cost: int64(state % 1000), next: next}
+}
+
+// repair reorders stops per task in first-seen order: tasks are collected
+// into a slice as they appear, not by ranging a map, so the output order
+// is a pure function of the input.
+func repair(next []int32) []int32 {
+	seen := make(map[int32]bool, len(next))
+	var order []int32
+	for _, t := range next {
+		if !seen[t] {
+			seen[t] = true
+			order = append(order, t)
+		}
+	}
+	out := make([]int32, 0, len(next))
+	for _, t := range order {
+		for _, u := range next {
+			if u == t {
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}

@@ -14,6 +14,7 @@ import (
 func TestHotPath(t *testing.T) {
 	analysistest.Run(t, "testdata", hotpath.Analyzer,
 		"androne/internal/telemetry",
+		"androne/internal/planner",
 		"hotbad",
 	)
 }

@@ -1,0 +1,53 @@
+// Package planner is a fixture standing in for the real annealing kernel:
+// the hotpath root mirrors the production //vet:hotpath annotation on the
+// move loop and exercises the clean idioms the analyzer must accept —
+// preallocated-slice index arithmetic, the copy builtin for the best-tour
+// snapshot, and math calls, with no allocation or locking in the loop.
+package planner
+
+import "math"
+
+// kernel is the fixture annealing state: linked tour plus aggregates.
+type kernel struct {
+	next     []int32
+	prev     []int32
+	cost     int64
+	bestCost int64
+	bestNext []int32
+	state    uint64
+}
+
+// step proposes one move, applies it in place, and either keeps it
+// (snapshotting via copy on improvement) or undoes it — all against
+// preallocated state.
+//
+//vet:hotpath the annealing move loop runs O(iterations x restarts) per plan
+func (k *kernel) step(temp float64) {
+	a := k.rand(len(k.next))
+	b := k.rand(len(k.next))
+	before := k.cost
+	k.next[a], k.next[b] = k.next[b], k.next[a]
+	k.prev[a], k.prev[b] = k.prev[b], k.prev[a]
+	k.cost += int64(a) - int64(b)
+	if k.cost < before || k.uniform() < math.Exp(float64(before-k.cost)/temp) {
+		if k.cost < k.bestCost {
+			k.bestCost = k.cost
+			copy(k.bestNext, k.next)
+		}
+		return
+	}
+	k.next[a], k.next[b] = k.next[b], k.next[a]
+	k.prev[a], k.prev[b] = k.prev[b], k.prev[a]
+	k.cost = before
+}
+
+func (k *kernel) rand(n int) int32 {
+	k.state ^= k.state << 13
+	k.state ^= k.state >> 7
+	k.state ^= k.state << 17
+	return int32(k.state % uint64(n))
+}
+
+func (k *kernel) uniform() float64 {
+	return (float64(k.rand(1<<30)) + 0.5) / (1 << 30)
+}

@@ -1,0 +1,75 @@
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"androne/internal/geo"
+)
+
+// decodeTasks derives a bounded, always-well-formed task set from fuzz
+// bytes: six bytes per task (waypoint count, position offsets, energy,
+// duration, flags). IDs are unique by construction; energies run past the
+// single-stop battery budget so the ErrInfeasible path is reachable.
+func decodeTasks(data []byte) []Task {
+	var tasks []Task
+	for i := 0; i+6 <= len(data) && len(tasks) < 24; i += 6 {
+		b := data[i : i+6]
+		nw := 1 + int(b[0]%3)
+		wps := make([]geo.Waypoint, nw)
+		for j := range wps {
+			wps[j] = wpAt(
+				float64(int8(b[1]))*7+40*float64(j),
+				float64(int8(b[2]))*7-25*float64(j),
+			)
+		}
+		tasks = append(tasks, Task{
+			ID:        fmt.Sprintf("t%02d", len(tasks)),
+			Waypoints: wps,
+			EnergyJ:   float64(b[3]) * 700,
+			DurationS: float64(b[4]),
+			Ordered:   b[5]&1 == 1,
+		})
+	}
+	return tasks
+}
+
+// FuzzPlannerPlan checks the planner's total-function contract: arbitrary
+// byte-derived instances must either plan successfully and pass Validate,
+// or fail with a typed error — never panic — and the same seed must
+// reproduce the plan bit-for-bit.
+func FuzzPlannerPlan(f *testing.F) {
+	f.Add([]byte{2, 16, 32, 40, 90, 1, 1, 224, 200, 30, 60, 0}, uint8(2), "androne")
+	f.Add([]byte{0, 0, 0, 255, 0, 0}, uint8(1), "edge")
+	f.Add([]byte{1, 127, 129, 60, 120, 1, 2, 50, 50, 20, 45, 0, 0, 10, 10, 10, 10, 1}, uint8(7), "mixed")
+	f.Fuzz(func(t *testing.T, data []byte, fleet uint8, seed string) {
+		tasks := decodeTasks(data)
+		cfg := DefaultConfig(base)
+		cfg.FleetSize = 1 + int(fleet%4)
+		cfg.MaxTasksPerRoute = int(fleet % 5) // 0 = unlimited
+		cfg.Iterations = 400
+		cfg.Restarts = 2
+		cfg.Workers = 2
+		cfg.Seed = seed
+
+		plan, err := cfg.Plan(tasks)
+		if err != nil {
+			if !errors.Is(err, ErrInfeasible) && !errors.Is(err, ErrNoFleet) && !errors.Is(err, ErrDuplicateTask) {
+				t.Fatalf("untyped planner error: %v", err)
+			}
+			return
+		}
+		if err := plan.Validate(cfg, tasks); err != nil {
+			t.Fatalf("plan fails its own validation: %v", err)
+		}
+		again, err := cfg.Plan(tasks)
+		if err != nil {
+			t.Fatalf("second plan errored: %v", err)
+		}
+		if !reflect.DeepEqual(plan, again) {
+			t.Fatal("same seed produced different plans")
+		}
+	})
+}

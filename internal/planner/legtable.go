@@ -1,0 +1,108 @@
+package planner
+
+import (
+	"androne/internal/geo"
+)
+
+// legTable caches 3-D leg distances between planner nodes. Node ids 0..n-1
+// are stops; id n is the base (all route sentinels collapse onto it, since
+// every route starts and ends at base). Distances are computed lazily with
+// geo.Distance3D the first time a pair is actually touched by a move, then
+// reused.
+//
+// The cache is a performance device only: Distance3D is a pure function of
+// the two positions, so a hit and a miss yield the bit-identical float64 —
+// cache layout, eviction, and sharing can never change a plan.
+type legTable struct {
+	n   int            // base id; valid ids are 0..n
+	pos []geo.Position // id -> position (pos[n] = base)
+
+	// Small instances use a dense (n+1)² matrix with 0 as the "unset"
+	// sentinel. A genuinely zero distance (two stops at the same position)
+	// is simply recomputed on every lookup, which stays correct.
+	dense []float64
+
+	// Larger instances use a fixed-size open-addressing table; on probe
+	// overflow the distance is recomputed without caching.
+	keys []int64
+	vals []float64
+	mask int
+}
+
+const (
+	// legDenseLimit bounds the dense matrix: (1024)² float64s is 8 MiB.
+	legDenseLimit = 1024
+	// legProbeMax bounds open-addressing probes before falling back to a
+	// direct computation.
+	legProbeMax = 16
+	// legProbeEntries caps the probe table size (1<<20 entries = 16 MiB).
+	legProbeEntries = 1 << 20
+)
+
+func newLegTable(stops []Stop, base geo.Position) *legTable {
+	t := &legTable{n: len(stops)}
+	t.pos = make([]geo.Position, t.n+1)
+	for i, s := range stops {
+		t.pos[i] = s.Waypoint.Position
+	}
+	t.pos[t.n] = base
+	if t.n+1 <= legDenseLimit {
+		t.dense = make([]float64, (t.n+1)*(t.n+1))
+		return t
+	}
+	want := (t.n + 1) * 64
+	if want > legProbeEntries {
+		want = legProbeEntries
+	}
+	size := 1
+	for size < want {
+		size <<= 1
+	}
+	t.keys = make([]int64, size)
+	t.vals = make([]float64, size)
+	t.mask = size - 1
+	return t
+}
+
+// dist returns the 3-D distance between node ids i and j.
+func (t *legTable) dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	if t.dense != nil {
+		k := i*(t.n+1) + j
+		if d := t.dense[k]; d != 0 {
+			return d
+		}
+		d := geo.Distance3D(t.pos[i], t.pos[j])
+		t.dense[k] = d
+		return d
+	}
+	key := int64(i)*int64(t.n+1) + int64(j) + 1 // +1 keeps 0 as "empty"
+	h := int(splitmix64(uint64(key))) & t.mask
+	for probe := 0; probe < legProbeMax; probe++ {
+		switch t.keys[h] {
+		case key:
+			return t.vals[h]
+		case 0:
+			d := geo.Distance3D(t.pos[i], t.pos[j])
+			t.keys[h] = key
+			t.vals[h] = d
+			return d
+		}
+		h = (h + 1) & t.mask
+	}
+	return geo.Distance3D(t.pos[i], t.pos[j])
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to spread leg keys over the
+// probe table deterministically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -18,6 +18,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"sync"
 
 	"androne/internal/energy"
 	"androne/internal/geo"
@@ -104,10 +105,19 @@ type Config struct {
 	// flight (0 = unlimited). The prototype's memory supports three
 	// simultaneous virtual drones, so its planner uses 3.
 	MaxTasksPerRoute int
-	// Iterations bounds the annealing loop (0 = default).
+	// Iterations bounds each annealing chain (0 = default).
 	Iterations int
 	// Seed makes planning deterministic.
 	Seed string
+	// Restarts is the number of independent annealing chains; the best
+	// result wins (0 = single chain). Chain i derives its own RNG from
+	// Seed as "<Seed>/restart-%02d".
+	Restarts int
+	// Workers bounds how many restart chains run concurrently (0 = serial).
+	// The winning plan is bit-identical at any worker count: chains are
+	// seeded independently and the winner is picked by (cost, restart
+	// index), never by completion order.
+	Workers int
 
 	// ordered is populated from the tasks at Plan time.
 	ordered map[string]bool
@@ -124,24 +134,51 @@ func DefaultConfig(base geo.Position) Config {
 		Model:       energy.DefaultMultirotor(),
 		Iterations:  20000,
 		Seed:        "androne",
+		Restarts:    4,
 	}
 }
 
 // Errors.
 var (
-	ErrNoFleet    = errors.New("planner: fleet size must be positive")
-	ErrInfeasible = errors.New("planner: no feasible plan within battery limits")
+	ErrNoFleet       = errors.New("planner: fleet size must be positive")
+	ErrInfeasible    = errors.New("planner: no feasible plan within battery limits")
+	ErrDuplicateTask = errors.New("planner: duplicate task id")
 )
 
 // Plan computes routes for the tasks.
+//
+//vet:detpath plans must be bit-identical across runs and worker counts
 func (cfg Config) Plan(tasks []Task) (*Plan, error) {
+	if cfg.FleetSize <= 0 {
+		return nil, ErrNoFleet
+	}
+	seen := make(map[string]bool, len(tasks))
+	var orderedIDs []string
+	for _, t := range tasks {
+		if seen[t.ID] {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateTask, t.ID)
+		}
+		seen[t.ID] = true
+		if t.Ordered {
+			orderedIDs = append(orderedIDs, t.ID)
+		}
+	}
+	return cfg.PlanStops(explode(tasks), orderedIDs)
+}
+
+// PlanStops plans a raw stop set — the entry point for re-planning the
+// unflown remainder of a delivery campaign, where tasks are already
+// exploded into stops. orderedIDs lists tasks whose remaining waypoints
+// must still be visited in ascending index order.
+//
+//vet:detpath plans must be bit-identical across runs and worker counts
+func (cfg Config) PlanStops(stops []Stop, orderedIDs []string) (*Plan, error) {
 	if cfg.FleetSize <= 0 {
 		return nil, ErrNoFleet
 	}
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 20000
 	}
-	stops := explode(tasks)
 	if len(stops) == 0 {
 		return &Plan{Base: cfg.Base}, nil
 	}
@@ -154,16 +191,16 @@ func (cfg Config) Plan(tasks []Task) (*Plan, error) {
 		}
 	}
 
-	ordered := make(map[string]bool)
-	for _, t := range tasks {
-		if t.Ordered {
-			ordered[t.ID] = true
-		}
+	ordered := make(map[string]bool, len(orderedIDs))
+	for _, id := range orderedIDs {
+		ordered[id] = true
 	}
 	cfg.ordered = ordered
 
-	routes := cfg.greedy(stops)
-	routes = cfg.anneal(routes)
+	prob := cfg.newProblem(stops, ordered)
+	seed := cfg.greedyOrder(stops)
+	win := cfg.annealRestarts(prob, seed)
+	routes := extractRoutes(prob, win)
 	repairOrder(routes, ordered)
 
 	// Post-process: split any route that exceeds the battery budget into
@@ -178,6 +215,59 @@ func (cfg Config) Plan(tasks []Task) (*Plan, error) {
 		final[i].DurationS = cfg.routeDuration(final[i].Stops)
 	}
 	return &Plan{Base: cfg.Base, Routes: final}, nil
+}
+
+// annealRestarts runs the configured number of independent annealing chains
+// over a bounded worker pool and returns the winning tour (the next-links
+// array of the best chain). Each chain depends only on its own derived seed
+// and the shared immutable problem, and the winner is selected by (cost,
+// restart index), so the result does not depend on how many workers ran the
+// chains or in what order they finished.
+func (cfg Config) annealRestarts(prob *problem, seed [][]int32) []int32 {
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > restarts {
+		workers = restarts
+	}
+	type result struct {
+		cost int64
+		next []int32
+	}
+	results := make([]result, restarts)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One kernel (and leg-table) per worker, reused across the
+			// restarts it draws from the queue.
+			k := newKernel(prob)
+			for ri := range idx {
+				k.load(seed)
+				k.anneal(newRNG(fmt.Sprintf("%s/restart-%02d", cfg.Seed, ri)), cfg.Iterations)
+				results[ri] = result{cost: k.bestCost, next: append([]int32(nil), k.bestNext...)}
+			}
+		}()
+	}
+	for ri := 0; ri < restarts; ri++ {
+		idx <- ri
+	}
+	close(idx)
+	wg.Wait()
+	best := 0
+	for ri := 1; ri < restarts; ri++ {
+		if results[ri].cost < results[best].cost {
+			best = ri
+		}
+	}
+	return results[best].next
 }
 
 // explode flattens tasks into independent stops with dwell costs split
@@ -233,25 +323,55 @@ func (cfg Config) routeDuration(stops []Stop) float64 {
 
 // greedy builds initial routes: nearest-neighbor assignment over the fleet.
 func (cfg Config) greedy(stops []Stop) [][]Stop {
-	routes := make([][]Stop, cfg.FleetSize)
-	pos := make([]geo.Position, cfg.FleetSize)
-	for i := range pos {
-		pos[i] = cfg.Base
+	order := cfg.greedyOrder(stops)
+	routes := make([][]Stop, len(order))
+	for r, ids := range order {
+		for _, i := range ids {
+			routes[r] = append(routes[r], stops[i])
+		}
 	}
-	remaining := append([]Stop(nil), stops...)
+	return routes
+}
+
+// greedyOrder is the cached-distance nearest-neighbor seed: every stop is
+// projected once onto the base's local tangent plane, candidates are ranked
+// by squared Euclidean distance, and removal from the remaining set is a
+// swap with the tail — the O(N²) haversine evaluations of the old seed
+// become N projections plus cheap float compares.
+func (cfg Config) greedyOrder(stops []Stop) [][]int32 {
+	n := len(stops)
+	north := make([]float64, n)
+	east := make([]float64, n)
+	alt := make([]float64, n)
+	for i, s := range stops {
+		north[i], east[i] = geo.NE(cfg.Base.LatLon, s.Waypoint.Position.LatLon)
+		alt[i] = s.Waypoint.Position.Alt - cfg.Base.Alt
+	}
+	routes := make([][]int32, cfg.FleetSize)
+	cn := make([]float64, cfg.FleetSize) // per-drone cursor, base = origin
+	ce := make([]float64, cfg.FleetSize)
+	ca := make([]float64, cfg.FleetSize)
+	remaining := make([]int32, n)
+	for i := range remaining {
+		remaining[i] = int32(i)
+	}
 	drone := 0
 	for len(remaining) > 0 {
 		// Pick the unvisited stop closest to this drone's current position.
 		best, bestD := 0, math.Inf(1)
-		for i, s := range remaining {
-			if d := geo.Distance3D(pos[drone], s.Waypoint.Position); d < bestD {
+		for i, id := range remaining {
+			dn := north[id] - cn[drone]
+			de := east[id] - ce[drone]
+			da := alt[id] - ca[drone]
+			if d := dn*dn + de*de + da*da; d < bestD {
 				best, bestD = i, d
 			}
 		}
-		s := remaining[best]
-		remaining = append(remaining[:best], remaining[best+1:]...)
-		routes[drone] = append(routes[drone], s)
-		pos[drone] = s.Waypoint.Position
+		id := remaining[best]
+		remaining[best] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		routes[drone] = append(routes[drone], id)
+		cn[drone], ce[drone], ca[drone] = north[id], east[id], alt[id]
 		drone = (drone + 1) % cfg.FleetSize
 	}
 	return routes
@@ -314,34 +434,52 @@ func orderViolations(routes [][]Stop, ordered map[string]bool) int {
 	return violations
 }
 
-// repairOrder sorts each ordered task's stops within each route into index
-// order, preserving their slot positions, so per-route sequences always
-// comply even if annealing left an inversion.
+// repairOrder rewrites each ordered task's stops into ascending waypoint
+// order across the whole plan — slots are collected route-major, the task's
+// stops are sorted by index, and written back into the same slots — so the
+// final route sequence always complies even if annealing left an inversion
+// or scattered an ordered task across routes. (Tasks are iterated in
+// first-seen order, not map order, to keep plans deterministic.)
 func repairOrder(routes [][]Stop, ordered map[string]bool) {
-	for _, r := range routes {
-		slots := make(map[string][]int)
+	if len(ordered) == 0 {
+		return
+	}
+	type slotList struct {
+		stops []Stop
+		slots [][2]int // (route, position) pairs in route-major order
+	}
+	var firstSeen []string
+	byTask := make(map[string]*slotList)
+	for ri, r := range routes {
 		for i, s := range r {
-			if ordered[s.Task] {
-				slots[s.Task] = append(slots[s.Task], i)
+			if !ordered[s.Task] {
+				continue
 			}
+			sl := byTask[s.Task]
+			if sl == nil {
+				sl = &slotList{}
+				byTask[s.Task] = sl
+				firstSeen = append(firstSeen, s.Task)
+			}
+			sl.stops = append(sl.stops, s)
+			sl.slots = append(sl.slots, [2]int{ri, i})
 		}
-		for task, idxs := range slots {
-			stops := make([]Stop, 0, len(idxs))
-			for _, i := range idxs {
-				stops = append(stops, r[i])
-			}
-			sort.Slice(stops, func(a, b int) bool { return stops[a].Index < stops[b].Index })
-			for k, i := range idxs {
-				r[i] = stops[k]
-			}
-			_ = task
+	}
+	for _, task := range firstSeen {
+		sl := byTask[task]
+		sort.Slice(sl.stops, func(a, b int) bool { return sl.stops[a].Index < sl.stops[b].Index })
+		for k, pos := range sl.slots {
+			routes[pos[0]][pos[1]] = sl.stops[k]
 		}
 	}
 }
 
-// anneal improves the routes with simulated annealing: relocate and swap
-// moves, geometric cooling.
-func (cfg Config) anneal(routes [][]Stop) [][]Stop {
+// baselineAnneal is the pre-kernel annealer, retained as the benchmark
+// baseline: every iteration clones all routes and recomputes the full O(N)
+// float objective. Plan no longer uses it — the incremental integer kernel
+// in kernel.go replaced it — but androne-bench times it against the kernel
+// to quantify the rewrite.
+func (cfg Config) baselineAnneal(routes [][]Stop) [][]Stop {
 	r := newRNG(cfg.Seed)
 	cur := cloneRoutes(routes)
 	best := cloneRoutes(routes)
@@ -423,23 +561,59 @@ func pick(routes [][]Stop, r *rng) (int, int) {
 
 // splitByBattery splits a route into feasible flights greedily: each flight
 // respects the battery budget and, when configured, the per-flight virtual
-// drone capacity.
+// drone capacity. The prefix energy of the flight under construction is
+// accumulated incrementally — in the exact left-to-right addition order
+// routeEnergy uses, so every trial energy (and therefore every split
+// decision) is bit-identical to re-summing the whole prefix — turning the
+// old O(N²) re-evaluation into O(N) total work.
 func (cfg Config) splitByBattery(r Route, budget float64) []Route {
 	if len(r.Stops) == 0 {
 		return nil
 	}
 	var out []Route
 	var cur []Stop
+	var prefix float64 // base -> ... -> last, dwells included, return leg excluded
+	var last geo.Position
+	var tasks []string // distinct tasks in cur; tracked only when capped
+	hasTask := func(t string) bool {
+		for _, x := range tasks {
+			if x == t {
+				return true
+			}
+		}
+		return false
+	}
+	start := func(s Stop) {
+		cur = []Stop{s}
+		prefix = cfg.Model.LegEnergyJ(geo.Distance3D(cfg.Base, s.Waypoint.Position), cfg.CruiseMS, 0) + s.DwellJ
+		last = s.Waypoint.Position
+		tasks = tasks[:0]
+		if cfg.MaxTasksPerRoute > 0 {
+			tasks = append(tasks, s.Task)
+		}
+	}
 	for _, s := range r.Stops {
-		trial := append(append([]Stop(nil), cur...), s)
-		overBudget := cfg.routeEnergy(trial) > budget
-		overCap := cfg.MaxTasksPerRoute > 0 && distinctTasks(trial) > cfg.MaxTasksPerRoute
-		if (overBudget || overCap) && len(cur) > 0 {
-			out = append(out, Route{Stops: cur})
-			cur = []Stop{s}
+		if len(cur) == 0 {
+			start(s)
 			continue
 		}
-		cur = trial
+		legIn := cfg.Model.LegEnergyJ(geo.Distance3D(last, s.Waypoint.Position), cfg.CruiseMS, 0)
+		legBack := cfg.Model.LegEnergyJ(geo.Distance3D(s.Waypoint.Position, cfg.Base), cfg.CruiseMS, 0)
+		overBudget := prefix+legIn+s.DwellJ+legBack > budget
+		newTask := cfg.MaxTasksPerRoute > 0 && !hasTask(s.Task)
+		overCap := newTask && len(tasks)+1 > cfg.MaxTasksPerRoute
+		if overBudget || overCap {
+			out = append(out, Route{Stops: cur})
+			start(s)
+			continue
+		}
+		cur = append(cur, s)
+		prefix += legIn
+		prefix += s.DwellJ
+		last = s.Waypoint.Position
+		if newTask {
+			tasks = append(tasks, s.Task)
+		}
 	}
 	if len(cur) > 0 {
 		out = append(out, Route{Stops: cur})
